@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Makes the sibling ``_util`` module importable and prints every collected
+figure table after the run (pytest's fd-level capture would otherwise
+swallow mid-test prints)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_terminal_summary(terminalreporter):
+    import _util
+
+    if not _util.COLLECTED:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for text in _util.COLLECTED:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

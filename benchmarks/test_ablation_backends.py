@@ -1,0 +1,40 @@
+"""Ablation — one compact Figure-7 slice across all five backends.
+
+A fast sanity sweep (single buffer size) used to check the backend
+ordering without running the full Figure 7 matrix.
+"""
+
+from _util import report
+
+from repro.bench import BACKENDS, build_stack, run_dlrm
+from repro.data import CTRDataset
+from repro.train import TrainerConfig
+
+
+def test_ablation_backend_ordering(benchmark):
+    dataset = CTRDataset(num_fields=8, field_cardinality=3500, seed=23)
+
+    def sweep():
+        results = {}
+        for backend in BACKENDS:
+            stack = build_stack(backend, dim=16, memory_budget_bytes=1 << 18,
+                                staleness_bound=4, cache_entries=16384)
+            config = TrainerConfig(
+                batch_size=128, pipeline_depth=2, emb_lr=0.1,
+                conventional_window=2,
+                lookahead_distance=16 if backend == "mlkv" else 0,
+            )
+            result = run_dlrm(stack, dataset, dim=16, num_batches=30, config=config)
+            results[backend] = (result.throughput, stack.joules_per_batch(30))
+            stack.close()
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [{"Backend": backend,
+             "Throughput (samples/s)": int(tput),
+             "Joules/batch": round(joules, 3)}
+            for backend, (tput, joules) in results.items()]
+    report("ablation_backends", rows)
+    assert results["native"][0] > results["mlkv"][0]  # in-RAM beats disk
+    assert results["mlkv"][0] > results["faster"][0]
+    assert results["mlkv"][0] > results["btree"][0]

@@ -1,0 +1,43 @@
+"""Ablation — lookahead destination (DESIGN.md §ablations).
+
+Same out-of-core DLRM run with (a) no prefetch, (b) conventional cache
+prefetch only, (c) in-store buffer staging only, (d) both — isolating
+where the Figure 9 win comes from.
+"""
+
+from _util import report
+
+from repro.bench import build_stack, run_dlrm
+from repro.data import CTRDataset
+from repro.train import TrainerConfig
+
+_CONFIGS = {
+    "none": dict(window=0, lookahead=0),
+    "cache only": dict(window=2, lookahead=0),
+    "buffer only": dict(window=0, lookahead=24),
+    "cache + buffer": dict(window=2, lookahead=24),
+}
+
+
+def test_ablation_lookahead_destination(benchmark):
+    dataset = CTRDataset(num_fields=8, field_cardinality=3000, skew=0.6, seed=22)
+
+    def sweep():
+        results = {}
+        for label, knobs in _CONFIGS.items():
+            stack = build_stack("mlkv", dim=16, memory_budget_bytes=1 << 17,
+                                staleness_bound=4, cache_entries=16384)
+            config = TrainerConfig(batch_size=128, pipeline_depth=2, emb_lr=0.1,
+                                   conventional_window=knobs["window"],
+                                   lookahead_distance=knobs["lookahead"])
+            result = run_dlrm(stack, dataset, dim=16, num_batches=50, config=config)
+            results[label] = result.throughput
+            stack.close()
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [{"Prefetch": label, "Throughput (samples/s)": int(tput)}
+            for label, tput in results.items()]
+    report("ablation_lookahead_dest", rows)
+    assert results["cache + buffer"] > results["none"]
+    assert results["cache + buffer"] >= results["cache only"]

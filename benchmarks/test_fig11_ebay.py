@@ -1,0 +1,95 @@
+"""Figure 11 — MLKV in risk detection at eBay (synthetic stand-ins).
+
+(a) eBay-Trisk: GraphSage training throughput vs buffer size for
+DGL-MLKV and DGL-FASTER on one instance, against a two-instance DGL-DDP
+analytic reference.  Paper: single-instance DGL-MLKV reaches ≈69.6% of
+two-instance DDP throughput — more cost-effective per instance.
+
+(b) eBay-Payout: AUC-vs-time curves for MLKV and FASTER at two buffer
+sizes.  Paper: look-ahead prefetching hides the data stalls, so the
+MLKV curves climb faster at the same buffer.
+"""
+
+from _util import report
+
+from repro.bench import build_stack, run_gnn
+from repro.data import make_payout_graph, make_trisk_graph
+from repro.train import DDPReference, TrainerConfig
+
+
+def test_fig11a_trisk_throughput(benchmark):
+    graph = make_trisk_graph(num_transactions=6000, num_entities=1500, seed=11)
+
+    def sweep():
+        rows = []
+        throughput = {}
+        for buffer_kib in (256, 512, 1024, 2048):
+            for backend in ("mlkv", "faster"):
+                stack = build_stack(backend, dim=32, memory_budget_bytes=buffer_kib << 10,
+                                    staleness_bound=4, cache_entries=16384)
+                config = TrainerConfig(
+                    batch_size=64, pipeline_depth=2, emb_lr=0.3,
+                    conventional_window=4,
+                    lookahead_distance=16 if backend == "mlkv" else 0,
+                )
+                result = run_gnn(stack, graph, dim=32, num_batches=25,
+                                 metric="auc", fanouts=(4, 4), config=config)
+                rows.append({
+                    "Buffer (KiB)": buffer_kib,
+                    "Variant": backend.upper(),
+                    "Throughput (samples/s)": int(result.throughput),
+                })
+                throughput[(buffer_kib, backend)] = result.throughput
+                stack.close()
+        ddp = DDPReference().throughput(1024)
+        rows.append({"Buffer (KiB)": "2 instances", "Variant": "DGL-DDP (analytic)",
+                     "Throughput (samples/s)": int(ddp)})
+        return rows, throughput, ddp
+
+    rows, throughput, ddp = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("fig11a_trisk_throughput", rows,
+           note="paper: 1-instance DGL-MLKV ≈ 69.6% of 2-instance DGL-DDP")
+    largest = max(k for k, _ in throughput)
+    assert throughput[(largest, "mlkv")] >= throughput[(256, "mlkv")]
+    # Single-instance MLKV lands below the 2-instance DDP reference.
+    assert throughput[(largest, "mlkv")] < ddp
+
+
+def test_fig11b_payout_convergence(benchmark):
+    graph = make_payout_graph(num_sellers=1500, num_items=4000,
+                              num_checkouts=8000, seed=11)
+
+    def sweep():
+        rows = []
+        finals = {}
+        for buffer_kib in (512, 2048):
+            for backend in ("mlkv", "faster"):
+                stack = build_stack(backend, dim=32, memory_budget_bytes=buffer_kib << 10,
+                                    staleness_bound=4, cache_entries=16384)
+                config = TrainerConfig(
+                    batch_size=64, pipeline_depth=2, emb_lr=0.3,
+                    conventional_window=4, eval_every=10, eval_size=300,
+                    lookahead_distance=16 if backend == "mlkv" else 0,
+                )
+                result = run_gnn(stack, graph, dim=32, num_batches=40,
+                                 metric="auc", fanouts=(4, 4), config=config)
+                rows.append({
+                    "Variant": f"{backend.upper()}-{buffer_kib}KiB",
+                    "Final AUC": round(result.final_metric, 4),
+                    "Time (sim s)": round(result.sim_seconds, 3),
+                    "AUC curve (t, auc)": "; ".join(
+                        f"({t:.2f},{m:.3f})" for t, m in result.history[-4:]
+                    ),
+                })
+                finals[(buffer_kib, backend)] = result
+                stack.close()
+        return rows, finals
+
+    rows, finals = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("fig11b_payout_convergence", rows,
+           note="paper: MLKV curves climb faster than FASTER at equal buffer")
+    for buffer_kib in (512, 2048):
+        mlkv = finals[(buffer_kib, "mlkv")]
+        assert mlkv.final_metric > 0.6  # planted fraud signal is learnable
+    # At the tight buffer MLKV trains at least as fast per epoch.
+    assert finals[(512, "mlkv")].sim_seconds <= 1.25 * finals[(512, "faster")].sim_seconds

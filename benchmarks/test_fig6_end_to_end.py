@@ -1,0 +1,113 @@
+"""Figure 6 — end-to-end convergence, in-memory workloads.
+
+Native specialized frameworks (PERSIA / DGL-KE / DGL stand-ins) vs the
+same computation layers over MLKV.  Everything fits in memory; the claim
+is that MLKV reaches the same convergence threshold in comparable time
+(paper: at most 2.5% / 2.6% / 22.2% slower due to index traversal).
+
+Embedding dims are scaled (paper 8/16, 200/400, 64/128 → 8/16, 16/32,
+16/32) to keep CPU training fast; each panel compares two dims as the
+paper does.
+"""
+
+import numpy as np
+from _util import report
+
+from repro.bench import BENCH_GPU_FLOPS, build_stack, run_dlrm, run_gnn, run_kge
+from repro.data import CTRDataset, GraphDataset, KGDataset
+from repro.train import TrainerConfig
+
+#: Heavier per-sample compute for the in-memory figure: the paper's GPUs
+#: spend most of each iteration in the network, which shrinks the
+#: relative cost of storage-layer index traversal.
+_FIG6_GPU_FLOPS = BENCH_GPU_FLOPS / 10
+
+
+def _convergence_row(task, model_name, dim, backend, result):
+    return {
+        "Task": task,
+        "Model": f"{model_name}-Dim{dim}",
+        "Backend": backend,
+        "Time (sim s)": round(result.sim_seconds, 3),
+        "Final metric": round(result.final_metric, 4),
+        "Curve (t,metric)": "; ".join(f"({t:.2f},{m:.3f})" for t, m in result.history[-4:]),
+    }
+
+
+def test_fig6a_dlrm_convergence(benchmark):
+    dataset = CTRDataset(num_fields=8, field_cardinality=2000, seed=6)
+
+    def run_all():
+        rows, times = [], {}
+        for model_name in ("ffnn", "dcn"):
+            for dim in (8, 16):
+                for backend in ("native", "mlkv"):
+                    stack = build_stack(backend, dim=dim, memory_budget_bytes=1 << 24,
+                                        staleness_bound=4, gpu_flops=_FIG6_GPU_FLOPS)
+                    config = TrainerConfig(batch_size=128, pipeline_depth=4, emb_lr=0.1,
+                                           eval_every=20, eval_size=1500)
+                    result = run_dlrm(stack, dataset, model_name=model_name, dim=dim,
+                                      num_batches=60, config=config)
+                    rows.append(_convergence_row("DLRM/Criteo-Ad", model_name.upper(),
+                                                 dim, backend, result))
+                    times[(model_name, dim, backend)] = result.sim_seconds
+                    stack.close()
+        return rows, times
+
+    rows, times = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("fig6a_dlrm_convergence", rows,
+           note="paper: PERSIA-MLKV at most 2.5% slower than PERSIA")
+    for model_name in ("ffnn", "dcn"):
+        for dim in (8, 16):
+            ratio = times[(model_name, dim, "mlkv")] / times[(model_name, dim, "native")]
+            assert ratio < 2.0, f"MLKV {ratio:.2f}x slower on {model_name}-{dim}"
+
+
+def test_fig6b_kge_convergence(benchmark):
+    dataset = KGDataset(num_entities=2500, num_triples=25000, num_relations=6, seed=6)
+
+    def run_all():
+        rows = []
+        for model_name in ("distmult", "complex"):
+            for dim in (16, 32):
+                for backend in ("native", "mlkv"):
+                    stack = build_stack(backend, dim=dim, memory_budget_bytes=1 << 24,
+                                        staleness_bound=4, gpu_flops=_FIG6_GPU_FLOPS)
+                    config = TrainerConfig(batch_size=128, pipeline_depth=4, emb_lr=0.5,
+                                           eval_every=40, eval_size=400)
+                    result = run_kge(stack, dataset, model_name=model_name, dim=dim,
+                                     num_batches=220, config=config)
+                    rows.append(_convergence_row("KGE/WikiKG2", model_name, dim,
+                                                 backend, result))
+                    stack.close()
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("fig6b_kge_convergence", rows,
+           note="paper: DGL-KE-MLKV at most 2.6% slower than DGL-KE")
+    assert all(row["Final metric"] > 0.25 for row in rows)
+
+
+def test_fig6c_gnn_convergence(benchmark):
+    graph = GraphDataset(num_nodes=2500, num_classes=6, seed=6)
+
+    def run_all():
+        rows = []
+        for model_name in ("graphsage", "gat"):
+            for dim in (16, 32):
+                for backend in ("native", "mlkv"):
+                    stack = build_stack(backend, dim=dim, memory_budget_bytes=1 << 24,
+                                        staleness_bound=4, gpu_flops=_FIG6_GPU_FLOPS)
+                    config = TrainerConfig(batch_size=48, pipeline_depth=4, emb_lr=0.3,
+                                           eval_every=15, eval_size=400)
+                    result = run_gnn(stack, graph, model_name=model_name, dim=dim,
+                                     num_batches=45, fanouts=(4, 4), config=config)
+                    rows.append(_convergence_row("GNN/Papers100M", model_name, dim,
+                                                 backend, result))
+                    stack.close()
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("fig6c_gnn_convergence", rows,
+           note="paper: DGL-MLKV at most 22.2% slower than DGL")
+    assert all(row["Final metric"] > 0.5 for row in rows)

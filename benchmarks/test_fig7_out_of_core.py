@@ -1,0 +1,116 @@
+"""Figure 7 — larger-than-memory workloads: throughput and energy vs buffer.
+
+Five variants per task (native in-RAM framework, MLKV, FASTER, LSM
+(RocksDB stand-in), B+tree (WiredTiger stand-in)) across a buffer-size
+sweep.  Paper result: MLKV outperforms the KV-store offloading baselines
+by 1.08–2.44× (DLRM), 1.36–4.89× (KGE) and 1.53–12.57× (GNN), and is the
+most energy-efficient disk-backed variant (Figure 7 bottom).
+"""
+
+import pytest
+from _util import report
+
+from repro.bench import BACKENDS, build_stack, run_dlrm, run_gnn, run_kge
+from repro.data import CTRDataset, GraphDataset, KGDataset
+from repro.train import TrainerConfig
+
+_BOUND = 4
+_WINDOW = 4
+_LOOKAHEAD = 16
+
+
+def _config(backend, batch_size, emb_lr):
+    return TrainerConfig(
+        batch_size=batch_size, pipeline_depth=_BOUND // 2, emb_lr=emb_lr,
+        conventional_window=_WINDOW,
+        lookahead_distance=_LOOKAHEAD if backend == "mlkv" else 0,
+    )
+
+
+def _sweep(task_name, runner, dataset, buffers, dim, batch_size, emb_lr, batches):
+    rows = []
+    throughput = {}
+    for buffer_bytes in buffers:
+        for backend in BACKENDS:
+            stack = build_stack(backend, dim=dim, memory_budget_bytes=buffer_bytes,
+                                staleness_bound=_BOUND, cache_entries=16384)
+            config = _config(backend, batch_size, emb_lr)
+            result = runner(stack, dataset, dim=dim, num_batches=batches, config=config)
+            rows.append({
+                "Task": task_name,
+                "Buffer (KiB)": buffer_bytes >> 10,
+                "Backend": backend,
+                "Throughput (samples/s)": int(result.throughput),
+                "Joules/batch": round(stack.joules_per_batch(batches), 3),
+            })
+            throughput[(buffer_bytes, backend)] = result.throughput
+            stack.close()
+    return rows, throughput
+
+
+def test_fig7a_dlrm_out_of_core(benchmark):
+    dataset = CTRDataset(num_fields=8, field_cardinality=3500, seed=7)
+    buffers = [1 << 18, 1 << 19, 1 << 20, 1 << 22]
+
+    rows, throughput = benchmark.pedantic(
+        lambda: _sweep("DLRM/Criteo-Terabyte", run_dlrm, dataset, buffers,
+                       dim=16, batch_size=128, emb_lr=0.1, batches=40),
+        rounds=1, iterations=1,
+    )
+    report("fig7a_dlrm_throughput_energy", rows,
+           note="paper: MLKV 1.08-2.44x over KV baselines on DLRM")
+    small = buffers[0]
+    assert throughput[(small, "mlkv")] > throughput[(small, "lsm")]
+    assert throughput[(small, "mlkv")] > throughput[(small, "btree")]
+    assert throughput[(small, "mlkv")] > throughput[(small, "faster")]
+
+
+def test_fig7b_kge_out_of_core(benchmark):
+    dataset = KGDataset(num_entities=12000, num_triples=40000, num_relations=6, seed=7)
+    buffers = [1 << 19, 1 << 21]
+
+    rows, throughput = benchmark.pedantic(
+        lambda: _sweep("KGE/Freebase86M", run_kge, dataset, buffers,
+                       dim=32, batch_size=128, emb_lr=0.5, batches=30),
+        rounds=1, iterations=1,
+    )
+    report("fig7b_kge_throughput_energy", rows,
+           note="paper: MLKV 1.36-4.89x over KV baselines on KGE")
+    small = buffers[0]
+    assert throughput[(small, "mlkv")] > throughput[(small, "btree")]
+
+
+def test_fig7c_gnn_out_of_core(benchmark):
+    graph = GraphDataset(num_nodes=9000, num_classes=6, seed=7)
+    buffers = [1 << 19, 1 << 21]
+
+    def runner(stack, dataset, dim, num_batches, config):
+        return run_gnn(stack, dataset, dim=dim, num_batches=num_batches,
+                       fanouts=(5, 5), config=config)
+
+    rows, throughput = benchmark.pedantic(
+        lambda: _sweep("GNN/Papers100M", runner, graph, buffers,
+                       dim=32, batch_size=64, emb_lr=0.3, batches=25),
+        rounds=1, iterations=1,
+    )
+    report("fig7c_gnn_throughput_energy", rows,
+           note="paper: MLKV 1.53-12.57x over KV baselines on GNN; at repro "
+                "scale the LSM block cache closes part of that gap (see "
+                "EXPERIMENTS.md)")
+    small = buffers[0]
+    assert throughput[(small, "mlkv")] > throughput[(small, "btree")]
+    assert throughput[(small, "mlkv")] > throughput[(small, "faster")]
+
+
+def test_fig7_energy_ordering():
+    """Figure 7 bottom: B+tree burns the most energy per batch out-of-core."""
+    dataset = CTRDataset(num_fields=8, field_cardinality=3500, seed=7)
+    joules = {}
+    for backend in ("mlkv", "btree"):
+        stack = build_stack(backend, dim=16, memory_budget_bytes=1 << 18,
+                            staleness_bound=_BOUND, cache_entries=16384)
+        run_dlrm(stack, dataset, dim=16, num_batches=30,
+                 config=_config(backend, 128, 0.1))
+        joules[backend] = stack.joules_per_batch(30)
+        stack.close()
+    assert joules["mlkv"] < joules["btree"]

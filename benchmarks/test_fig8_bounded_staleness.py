@@ -1,0 +1,83 @@
+"""Figure 8 — effect of bounded staleness consistency.
+
+Fixed buffer, sweep the staleness bound; plot quality vs throughput.
+Paper: relaxing the bound buys up to 6.58× speedup at <0.1% AUC drop at
+paper scale; the FASTER-based (unbounded) solutions drop >0.8%.  At this
+reproduction's compressed scale the *shape* is the claim: quality falls
+monotonically toward the ASP value as the bound relaxes, and throughput
+rises until prefetching has hidden all stalls.
+"""
+
+from _util import report
+
+from repro.bench import build_stack, run_dlrm, run_kge
+from repro.core.staleness import ASP_BOUND
+from repro.data import CTRDataset, KGDataset
+from repro.train import TrainerConfig
+
+_BOUNDS = [0, 2, 4, 10, 20, 40, 80]
+
+
+def _sweep_dlrm():
+    dataset = CTRDataset(num_fields=8, field_cardinality=2500, seed=8)
+    rows = []
+    metrics = {}
+    for bound in _BOUNDS + [ASP_BOUND]:
+        stack = build_stack("mlkv", dim=16, memory_budget_bytes=1 << 19,
+                            staleness_bound=bound, cache_entries=16384)
+        config = TrainerConfig(
+            batch_size=128, pipeline_depth=min(bound // 2, 24) if bound else 0,
+            emb_lr=0.15, conventional_window=min(bound, 8),
+            lookahead_distance=16, eval_size=2000,
+        )
+        result = run_dlrm(stack, dataset, dim=16, num_batches=90, config=config)
+        label = "ASP" if bound == ASP_BOUND else bound
+        rows.append({
+            "Task": "DLRM/Criteo-Ad",
+            "Bound": label,
+            "Throughput (samples/s)": int(result.throughput),
+            "AUC%": round(100 * result.final_metric, 2),
+            "Stalls": result.stall_events,
+        })
+        metrics[label] = result
+        stack.close()
+    return rows, metrics
+
+
+def _sweep_kge():
+    dataset = KGDataset(num_entities=8000, num_triples=30000, num_relations=6, seed=8)
+    rows = []
+    for bound in (0, 4, 20, 80):
+        stack = build_stack("mlkv", dim=32, memory_budget_bytes=1 << 20,
+                            staleness_bound=bound, cache_entries=16384)
+        config = TrainerConfig(
+            batch_size=128, pipeline_depth=min(bound // 2, 24) if bound else 0,
+            emb_lr=0.5, conventional_window=min(bound, 8),
+            lookahead_distance=16, eval_size=400,
+        )
+        result = run_kge(stack, dataset, dim=32, num_batches=60, config=config)
+        rows.append({
+            "Task": "KGE/WikiKG2",
+            "Bound": bound,
+            "Throughput (samples/s)": int(result.throughput),
+            "Hits@10": round(result.final_metric, 4),
+            "Stalls": result.stall_events,
+        })
+        stack.close()
+    return rows
+
+
+def test_fig8_staleness_sweep(benchmark):
+    (dlrm_rows, dlrm_metrics), kge_rows = benchmark.pedantic(
+        lambda: (_sweep_dlrm(), _sweep_kge()), rounds=1, iterations=1
+    )
+    report("fig8_bounded_staleness_dlrm", dlrm_rows,
+           note="paper: up to 6.58x speedup with <0.1% AUC drop at paper scale; "
+                "bounds compress at repro scale (see EXPERIMENTS.md)")
+    report("fig8_bounded_staleness_kge", kge_rows)
+    # Quality: BSP best, ASP worst, bounded in between.
+    assert dlrm_metrics[0].final_metric >= dlrm_metrics["ASP"].final_metric
+    mid = dlrm_metrics[10].final_metric
+    assert dlrm_metrics[0].final_metric >= mid >= dlrm_metrics["ASP"].final_metric - 0.02
+    # Throughput: relaxing the bound never slows training down materially.
+    assert dlrm_metrics["ASP"].throughput >= 0.9 * dlrm_metrics[0].throughput

@@ -1,0 +1,18 @@
+"""Table II — datasets and models registry (paper scale vs repro scale)."""
+
+from _util import report
+
+from repro.data import DATASETS, table2_rows
+
+
+def test_table2_dataset_registry(benchmark):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    assert len(rows) == 7
+    report("table2_datasets", rows,
+           note="scaled stand-ins preserve skew/structure; see DESIGN.md")
+
+
+def test_table2_factories_instantiate(benchmark):
+    spec = DATASETS["Criteo-Ad"]
+    dataset = benchmark.pedantic(spec.factory, rounds=1, iterations=1)
+    assert dataset.num_embeddings == spec.scaled_num_embeddings

@@ -1,0 +1,41 @@
+"""Knowledge-graph link prediction (DGL-KE-style) over MLKV.
+
+Trains DistMult and ComplEx on a synthetic clustered KG, with BETA
+partition ordering to improve storage locality (paper Figure 9b), and
+reports Hits@10.
+
+Run:  python examples/kge_link_prediction.py
+"""
+
+from repro.bench import build_stack, run_kge
+from repro.data import KGDataset
+from repro.train import TrainerConfig
+from repro.train.partition import beta_order, swap_count
+
+
+def main() -> None:
+    dataset = KGDataset(num_entities=6000, num_triples=40000, num_relations=8, seed=2)
+
+    # BETA ordering: group triples by entity-partition pair.
+    ordered = beta_order(dataset.train_triples, dataset.num_entities, num_partitions=8)
+    before = swap_count(dataset.train_triples, dataset.num_entities, 8)
+    after = swap_count(ordered, dataset.num_entities, 8)
+    print(f"BETA ordering: partition faults {before} -> {after}")
+    dataset.train_triples = ordered
+
+    for model_name in ("distmult", "complex"):
+        stack = build_stack("mlkv", dim=32, memory_budget_bytes=1 << 21,
+                            staleness_bound=4, cache_entries=16384)
+        config = TrainerConfig(batch_size=128, pipeline_depth=2, emb_lr=0.5,
+                               conventional_window=2, lookahead_distance=16,
+                               eval_every=60, eval_size=400)
+        result = run_kge(stack, dataset, model_name=model_name, dim=32,
+                         num_batches=240, config=config)
+        curve = ", ".join(f"{m:.3f}" for _, m in result.history)
+        print(f"{model_name:9s}  Hits@10 curve: [{curve}]  "
+              f"throughput {int(result.throughput)} samples/s")
+        stack.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Quickstart: the MLKV API from paper Figure 3, end to end.
+
+Creates an embedding model with a staleness bound, trains a tiny CTR
+model against it, prefetches upcoming batches with Lookahead, and
+checkpoints to a simulated cloud bucket.
+
+Run:  python examples/quickstart.py
+"""
+
+import tempfile
+
+import numpy as np
+
+import repro.core as MLKV
+from repro.data import CTRDataset
+from repro.models import FFNN
+from repro.nn import Adam, Tensor, bce_with_logits
+from repro.nn.optim import RowAdagrad
+from repro.train.metrics import auc
+
+
+def main() -> None:
+    workspace = tempfile.mkdtemp(prefix="mlkv-quickstart-")
+
+    # 1. Open an embedding model: (model handle, embedding tables).
+    model, emb_tables = MLKV.open(
+        "quickstart", dim=8, staleness_bound=4,
+        workspace=workspace, cloud_dir=f"{workspace}/cloud",
+    )
+    print(f"opened model {model.model_id!r} in {model.mode.value} mode")
+
+    # 2. Application logic: a small CTR stream and an FFNN.
+    dataset = CTRDataset(num_fields=4, field_cardinality=400, seed=0)
+    network = FFNN(num_dense=13, num_fields=4, emb_dim=8, hidden=(32, 16),
+                   rng=np.random.default_rng(0))
+    model.attach_network(network)
+    nn_optimizer = Adam(network.parameters(), lr=0.005)
+    emb_optimizer = RowAdagrad(lr=0.1)
+
+    batches = dataset.batches(120, batch_size=64)
+    schedule = [np.unique(batch.sparse) for batch in batches]
+
+    for step, batch in enumerate(batches):
+        # 3. Lookahead: tell the store what the next batches will need.
+        if step + 1 < len(schedule):
+            emb_tables.lookahead(schedule[step + 1], dest="buffer")
+
+        # 4. Get embeddings for the forward pass.
+        keys = schedule[step]
+        rows = emb_tables.get(keys)
+
+        # 5. Forward/backward through the dense network.
+        leaf = Tensor(rows, requires_grad=True)
+        emb = leaf[np.searchsorted(keys, batch.sparse)]
+        logits = network(batch.dense, emb)
+        loss = bce_with_logits(logits, batch.labels)
+        network.zero_grad()
+        loss.backward()
+        nn_optimizer.step()
+
+        # 6. Put updated embeddings back (Figure 3, line 17).
+        emb_tables.put(keys, emb_optimizer.updated_rows(keys, rows, leaf.grad))
+
+        if step % 40 == 39:
+            eval_batch = dataset.eval_batch(1000)
+            emb = Tensor(emb_tables.peek(eval_batch.sparse))
+            score = auc(eval_batch.labels, network(eval_batch.dense, emb).numpy())
+            print(f"step {step + 1:4d}  loss {loss.item():.4f}  AUC {score:.4f}")
+
+    # 7. Persist: local checkpoint + upload to the (simulated) cloud.
+    model.checkpoint()
+    print(f"checkpointed to {workspace}/cloud")
+    model.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Benchmark harness: builds variant stacks and formats figure output."""
+
+from repro.bench.native import NativeStore
+from repro.bench.harness import (
+    BACKENDS,
+    BENCH_GPU_FLOPS,
+    Stack,
+    build_stack,
+    run_dlrm,
+    run_kge,
+    run_gnn,
+    format_table,
+    save_results,
+)
+from repro.bench.capability import CAPABILITY_MATRIX, table1_rows
+
+__all__ = [
+    "NativeStore",
+    "BACKENDS",
+    "BENCH_GPU_FLOPS",
+    "Stack",
+    "build_stack",
+    "run_dlrm",
+    "run_kge",
+    "run_gnn",
+    "format_table",
+    "save_results",
+    "CAPABILITY_MATRIX",
+    "table1_rows",
+]

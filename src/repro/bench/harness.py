@@ -1,0 +1,249 @@
+"""Variant stacks and experiment runners shared by every figure bench.
+
+``build_stack(backend, ...)`` assembles a complete training substrate —
+clock, SSD model, GPU model, store, embedding tables — for one of the
+five Figure 7 variants:
+
+========  ==========================================================
+backend   meaning
+========  ==========================================================
+native    specialized framework's in-memory storage (no disk)
+mlkv      MLKV: bounded staleness + look-ahead over the hybrid log
+faster    plain FASTER offloading (no bound, no lookahead)
+lsm       RocksDB-style LSM offloading
+btree     WiredTiger-style B+tree offloading
+========  ==========================================================
+
+``run_dlrm`` / ``run_kge`` / ``run_gnn`` build the corresponding trainer
+stack, train for a configured number of batches, and return the
+:class:`~repro.train.loop.TrainResult` plus energy figures.
+"""
+
+from __future__ import annotations
+
+import os
+import json
+import tempfile
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.bench.native import NativeStore
+from repro.core.embedding import EmbeddingTables
+from repro.core.mlkv import MLKV
+from repro.core.staleness import ASP_BOUND
+from repro.device import EnergyModel, GPUModel, SimClock, SSDModel
+from repro.errors import ConfigError
+from repro.kv.btree import BTreeKV
+from repro.kv.faster import FasterKV
+from repro.kv.lsm import LsmKV
+from repro.train import (
+    DLRMTrainer,
+    GNNTrainer,
+    KGETrainer,
+    TrainerConfig,
+    TrainResult,
+)
+from repro.data import CTRDataset, KGDataset, GraphDataset, NeighborSampler
+from repro.models import FFNN, DCN, DistMult, ComplEx, GraphSage, GAT
+
+BACKENDS = ("native", "mlkv", "faster", "lsm", "btree")
+
+#: GPU throughput used by the figure benches.  Deliberately throttled so
+#: dense compute is comparable to storage time at this reproduction's
+#: scale, as it is at the paper's scale on real hardware.
+BENCH_GPU_FLOPS = 2.0e11
+
+
+@dataclass
+class Stack:
+    """One assembled variant: devices + store + tables."""
+
+    backend: str
+    clock: SimClock
+    ssd: SSDModel
+    gpu: GPUModel
+    store: object
+    tables: EmbeddingTables
+    workdir: str
+    energy_model: EnergyModel = field(default_factory=EnergyModel)
+
+    def joules_per_batch(self, batches: int) -> float:
+        return self.energy_model.joules_per_batch(self.clock, batches)
+
+    def close(self) -> None:
+        self.store.close()
+
+
+def build_stack(
+    backend: str,
+    dim: int,
+    memory_budget_bytes: int,
+    staleness_bound: int = ASP_BOUND,
+    cache_entries: int = 4096,
+    workdir: Optional[str] = None,
+    seed: int = 0,
+    gpu_flops: float = BENCH_GPU_FLOPS,
+) -> Stack:
+    """Assemble the training substrate for one backend variant."""
+    if backend not in BACKENDS:
+        raise ConfigError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    clock = SimClock()
+    ssd = SSDModel(clock)
+    gpu = GPUModel(clock, flops_per_second=gpu_flops)
+    workdir = workdir or tempfile.mkdtemp(prefix=f"repro-{backend}-")
+    if backend == "native":
+        store = NativeStore(ssd=ssd)  # unbounded for in-memory comparisons
+    elif backend == "mlkv":
+        store = MLKV(
+            os.path.join(workdir, "mlkv"),
+            staleness_bound=staleness_bound,
+            ssd=ssd,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+    elif backend == "faster":
+        store = FasterKV(
+            os.path.join(workdir, "faster"),
+            ssd=ssd,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+    elif backend == "lsm":
+        store = LsmKV(
+            os.path.join(workdir, "lsm"),
+            ssd=ssd,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+    else:
+        store = BTreeKV(
+            os.path.join(workdir, "btree"),
+            ssd=ssd,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+    tables = EmbeddingTables(store, dim, seed=seed, cache_entries=cache_entries)
+    return Stack(
+        backend=backend, clock=clock, ssd=ssd, gpu=gpu,
+        store=store, tables=tables, workdir=workdir,
+    )
+
+
+# ----------------------------------------------------------------------
+# experiment runners
+# ----------------------------------------------------------------------
+_DLRM_MODELS = {"ffnn": FFNN, "dcn": DCN}
+_KGE_MODELS = {"distmult": DistMult, "complex": ComplEx}
+_GNN_MODELS = {"graphsage": GraphSage, "gat": GAT}
+
+
+def run_dlrm(
+    stack: Stack,
+    dataset: CTRDataset,
+    model_name: str = "ffnn",
+    dim: int = 16,
+    num_batches: int = 100,
+    batch_size: int = 128,
+    config: Optional[TrainerConfig] = None,
+) -> TrainResult:
+    """Train a CTR model on ``stack``; returns the run result."""
+    config = config or TrainerConfig(batch_size=batch_size)
+    rng = np.random.default_rng(config.seed)
+    network = _DLRM_MODELS[model_name](
+        num_dense=dataset.num_dense, num_fields=dataset.num_fields,
+        emb_dim=dim, rng=rng,
+    )
+    trainer = DLRMTrainer(stack.tables, network, stack.gpu, config, dataset)
+    batches = dataset.batches(num_batches, config.batch_size)
+    return trainer.run(batches)
+
+
+def run_kge(
+    stack: Stack,
+    dataset: KGDataset,
+    model_name: str = "distmult",
+    dim: int = 16,
+    num_batches: int = 100,
+    batch_size: int = 128,
+    config: Optional[TrainerConfig] = None,
+    batches: Optional[list] = None,
+) -> TrainResult:
+    """Train a KGE model; ``batches`` may be pre-ordered (BETA)."""
+    config = config or TrainerConfig(batch_size=batch_size, emb_lr=0.5)
+    rng = np.random.default_rng(config.seed)
+    network = _KGE_MODELS[model_name](
+        num_relations=dataset.num_relations, dim=dim, rng=rng,
+    )
+    trainer = KGETrainer(stack.tables, network, stack.gpu, config, dataset)
+    if batches is None:
+        batches = dataset.batches(num_batches, config.batch_size)
+    return trainer.run(batches)
+
+
+def run_gnn(
+    stack: Stack,
+    graph: GraphDataset,
+    model_name: str = "graphsage",
+    dim: int = 16,
+    hidden_dim: int = 32,
+    num_batches: int = 100,
+    batch_size: int = 64,
+    fanouts: tuple[int, ...] = (5, 5),
+    metric: str = "accuracy",
+    config: Optional[TrainerConfig] = None,
+) -> TrainResult:
+    """Train a GNN; sampling mode follows the model (mean vs attention)."""
+    config = config or TrainerConfig(batch_size=batch_size, emb_lr=0.3)
+    rng = np.random.default_rng(config.seed)
+    network = _GNN_MODELS[model_name](
+        in_dim=dim, hidden_dim=hidden_dim, num_classes=graph.num_classes, rng=rng,
+    )
+    mode = "mean" if model_name == "graphsage" else "mask"
+    sampler = NeighborSampler(graph, fanouts=fanouts, mode=mode, seed=config.seed)
+    trainer = GNNTrainer(stack.tables, network, stack.gpu, config, graph, sampler, metric=metric)
+    batches = trainer.make_batches(num_batches)
+    avg_nodes = int(np.mean([len(b.input_nodes) for b in batches]))
+    return trainer.run(batches, samples_per_batch=config.batch_size or avg_nodes)
+
+
+# ----------------------------------------------------------------------
+# output formatting
+# ----------------------------------------------------------------------
+def format_table(rows: list[dict], title: str = "") -> str:
+    """Fixed-width text table (what the bench files print)."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    columns = list(rows[0].keys())
+    widths = {
+        col: max(len(str(col)), *(len(_fmt(row.get(col))) for row in rows))
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(" | ".join(_fmt(row.get(col)).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def save_results(name: str, rows: list[dict], results_dir: str = "results") -> str:
+    """Persist a figure's rows as JSON + text; returns the text path."""
+    os.makedirs(results_dir, exist_ok=True)
+    json_path = os.path.join(results_dir, f"{name}.json")
+    with open(json_path, "w") as f:
+        json.dump(rows, f, indent=2, default=str)
+    text_path = os.path.join(results_dir, f"{name}.txt")
+    with open(text_path, "w") as f:
+        f.write(format_table(rows, title=name) + "\n")
+    return text_path

@@ -1,0 +1,46 @@
+"""MLKV — the paper's primary contribution.
+
+A data-storage framework over the FASTER-like hybrid-log store that adds
+the two optimizations Section III-C describes:
+
+* **bounded staleness consistency** — per-record vector clocks packed into
+  the unused 32 bits of the record latch word (:mod:`repro.core.mlkv`),
+  giving BSP / SSP / ASP training modes from a single ``staleness_bound``
+  knob (:mod:`repro.core.staleness`);
+* **look-ahead prefetching** — a non-blocking ``Lookahead`` interface that
+  moves future embeddings from disk into the store's mutable memory
+  buffer (or the application cache) at sequential, overlapped cost
+  (:mod:`repro.core.lookahead`).
+
+The user-facing API matches paper Figure 3::
+
+    import repro.core as MLKV
+    model, emb_tables = MLKV.open(model_id, dim, staleness_bound)
+    values = emb_tables.get(keys)          # forward pass inputs
+    emb_tables.put(keys, values - lr * g)  # backward pass updates
+    emb_tables.lookahead(future_keys)      # hide upcoming disk reads
+"""
+
+from repro.core.staleness import (
+    ASP_BOUND,
+    ConsistencyMode,
+    mode_for_bound,
+)
+from repro.core.mlkv import MLKV, MLKVStats
+from repro.core.embedding import EmbeddingTables
+from repro.core.lookahead import LookaheadEngine
+from repro.core.checkpoint import CloudCheckpointer
+from repro.core.open import MLKVModel, open
+
+__all__ = [
+    "ASP_BOUND",
+    "ConsistencyMode",
+    "mode_for_bound",
+    "MLKV",
+    "MLKVStats",
+    "EmbeddingTables",
+    "LookaheadEngine",
+    "CloudCheckpointer",
+    "MLKVModel",
+    "open",
+]

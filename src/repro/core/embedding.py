@@ -1,0 +1,214 @@
+"""Embedding-table facade over an MLKV store (paper Figure 3's API).
+
+Maps integer sparse-feature identifiers to float32 vectors.  Responsible
+for (de)serialization, deterministic lazy initialization of unseen keys,
+the application-side cache that conventional prefetching fills, and the
+batch ``get``/``put``/``lookahead`` calls the trainers use.
+
+The application cache holds vectors fetched *through the Get protocol*
+(their staleness is already counted), so consuming a cached vector does
+not re-admit; a ``put`` writes through to the store and refreshes the
+cache entry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError, StalenessViolation
+from repro.kv.api import KVStore
+from repro.kv.common.cache import LRUCache
+from repro.kv.common.serialization import decode_vector, encode_vector
+
+
+#: Dataloader worker threads issuing conventional (synchronous-API)
+#: prefetch reads; bounds their overlap in the device queue.
+PREFETCH_WORKERS = 4
+
+
+class _NullScope:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
+class EmbeddingTables:
+    """Batched embedding access with lazy init and app-level caching.
+
+    Works over any :class:`~repro.kv.api.KVStore`; the baseline variants
+    of Figure 7 (PERSIA-FASTER, PERSIA-RocksDB, ...) wrap their engines
+    with the same facade so all variants share application logic.  The
+    ``lookahead(dest='buffer')`` fast path is only available when the
+    store is an MLKV instance — exactly the paper's point.
+
+    Parameters
+    ----------
+    store:
+        The underlying key-value store (MLKV for the full feature set).
+    dim:
+        Embedding dimension; every vector read is validated against it.
+    init_scale:
+        Uniform(-scale, scale) lazy initialization, the common choice for
+        embedding tables.
+    seed:
+        Base seed; each key derives its own stream so initialization is
+        deterministic regardless of access order.
+    cache_entries:
+        Capacity of the application cache (0 disables it).
+    """
+
+    def __init__(
+        self,
+        store: KVStore,
+        dim: int,
+        init_scale: float = 0.05,
+        seed: int = 0,
+        cache_entries: int = 4096,
+    ) -> None:
+        if dim <= 0:
+            raise ConfigError(f"embedding dim must be positive, got {dim}")
+        self.store = store
+        self.dim = dim
+        self.init_scale = init_scale
+        self.seed = seed
+        self.cache = LRUCache(cache_entries)
+
+    # ------------------------------------------------------------------
+    # batch interfaces (paper Figure 3)
+    # ------------------------------------------------------------------
+    def get(self, keys) -> np.ndarray:
+        """Fetch vectors for ``keys`` (duplicates allowed); shape [n, dim].
+
+        Unseen keys are lazily initialized and inserted.  Per unique key
+        the store's Get protocol runs once; duplicates within the batch
+        share the admission (embedding lookups for one minibatch are a
+        single logical read per key).
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        unique, inverse = np.unique(keys, return_inverse=True)
+        gathered = np.empty((unique.shape[0], self.dim), dtype=np.float32)
+        for i, key in enumerate(unique):
+            gathered[i] = self._get_one(int(key))
+        return gathered[inverse].reshape(*keys.shape, self.dim)
+
+    def _get_one(self, key: int) -> np.ndarray:
+        """Training read: consume a prefetched entry or admit through the store.
+
+        Cache entries are reference-counted prefetches: each conventional
+        prefetch performed one Get admission, so each entry covers exactly
+        that many training uses.  A warm cache therefore never bypasses
+        the staleness bound — it only moves the store read (and its
+        admission) off the critical path.
+        """
+        entry = self.cache.peek(key)
+        if entry is not None:
+            entry[1] -= 1
+            if entry[1] <= 0:
+                self.cache.pop(key)
+            self.cache.hits += 1
+            return entry[0]
+        self.cache.misses += 1
+        return self._fetch_one(key)
+
+    def _fetch_one(self, key: int) -> np.ndarray:
+        raw = self.store.get(key)
+        if raw is None:
+            vector = self._init_vector(key)
+            self.store.put(key, encode_vector(vector))
+            raw = self.store.get(key)
+        return decode_vector(raw, dim=self.dim)
+
+    def put(self, keys, values: np.ndarray) -> None:
+        """Write updated vectors back (backward-pass path).
+
+        Duplicate keys are allowed; the *last* occurrence wins, matching
+        a sequential application of the updates.
+        """
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+        values = np.asarray(values, dtype=np.float32).reshape(-1, self.dim)
+        if keys.shape[0] != values.shape[0]:
+            raise ConfigError("put requires one vector per key")
+        seen: dict[int, np.ndarray] = {}
+        for key, vector in zip(keys, values):
+            seen[int(key)] = vector
+        for key, vector in seen.items():
+            self.store.put(key, encode_vector(vector))
+            entry = self.cache.peek(key)
+            if entry is not None:
+                # Keep an un-consumed prefetched entry fresh.
+                entry[0] = vector.copy()
+
+    def lookahead(self, keys, dest: str = "buffer") -> int:
+        """Non-blocking prefetch of future ``keys`` (paper §III-C2).
+
+        ``dest='buffer'`` stages disk records into MLKV's mutable memory
+        buffer — this works *beyond* the staleness bound because no Get
+        admission happens.  ``dest='cache'`` additionally pulls the values
+        into the application cache through the Get protocol, i.e.
+        conventional prefetching (limited by the bound).  Returns the
+        number of records moved.
+        """
+        keys = np.unique(np.asarray(keys, dtype=np.int64))
+        if dest == "buffer":
+            engine = getattr(self.store, "lookahead", None)
+            if engine is None:
+                return 0  # plain KV stores have no in-store prefetch path
+            return engine([int(k) for k in keys])
+        if dest == "cache":
+            moved = 0
+            ssd = getattr(self.store, "ssd", None)
+            # Conventional prefetching goes through the synchronous Get
+            # API on a few framework worker threads — limited overlap.
+            scope = (
+                ssd.background(parallelism=PREFETCH_WORKERS)
+                if ssd is not None
+                else _NullScope()
+            )
+            with scope:
+                for key in keys:
+                    try:
+                        vector = self._fetch_one(int(key))  # one admission per use
+                    except StalenessViolation:
+                        # Prefetch is advisory: a key whose clock cannot
+                        # admit another Get yet is simply skipped; the
+                        # consumer fetches it (blocking) once it settles.
+                        continue
+                    entry = self.cache.peek(int(key))
+                    if entry is not None:
+                        entry[0] = vector
+                        entry[1] += 1
+                    else:
+                        self.cache.put(int(key), [vector, 1])
+                        moved += 1
+            return moved
+        raise ConfigError(f"unknown lookahead destination {dest!r}")
+
+    def peek(self, keys) -> np.ndarray:
+        """Evaluation read: committed values, no staleness admission.
+
+        Keys never seen by training return their deterministic lazy
+        initialization (without inserting them).
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        unique, inverse = np.unique(keys, return_inverse=True)
+        reader = getattr(self.store, "read_committed", self.store.get)
+        gathered = np.empty((unique.shape[0], self.dim), dtype=np.float32)
+        for i, key in enumerate(unique):
+            raw = reader(int(key))
+            if raw is None:
+                gathered[i] = self._init_vector(int(key))
+            else:
+                gathered[i] = decode_vector(raw, dim=self.dim)
+        return gathered[inverse].reshape(*keys.shape, self.dim)
+
+    # ------------------------------------------------------------------
+    def _init_vector(self, key: int) -> np.ndarray:
+        rng = np.random.default_rng((self.seed << 32) ^ (key * 0x9E3779B9 + 1))
+        return rng.uniform(-self.init_scale, self.init_scale, self.dim).astype(np.float32)
+
+    def __len__(self) -> int:
+        return len(self.store)

@@ -1,0 +1,78 @@
+"""Look-ahead prefetch scheduling over a known batch sequence.
+
+Training data loaders know the upcoming minibatches (paper §III-C2: "or
+even just know what future incoming training samples will be"), so the
+engine keeps a cursor into the batch stream and, each step, issues
+``Lookahead`` calls for the batches inside its window that have not been
+staged yet.
+
+Two windows model the paper's distinction:
+
+* the *conventional* window (``dest='cache'``) may reach at most
+  ``staleness_bound`` batches ahead — prefetching into the application
+  cache performs Get admissions, which the bound limits;
+* the *look-ahead* window (``dest='buffer'``) reaches ``distance``
+  batches ahead regardless of the bound, because staging into the store's
+  memory buffer performs no admissions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.embedding import EmbeddingTables
+
+
+class LookaheadEngine:
+    """Sliding-window prefetcher over a fixed batch schedule.
+
+    Parameters
+    ----------
+    tables:
+        Embedding facade to prefetch through.
+    batch_keys:
+        The known schedule: one int array of embedding keys per batch.
+    distance:
+        Look-ahead window in batches (0 disables look-ahead).
+    conventional_window:
+        Conventional (cache) prefetch window; clamped to the store's
+        staleness bound by the caller.
+    """
+
+    def __init__(
+        self,
+        tables: EmbeddingTables,
+        batch_keys: Sequence[np.ndarray],
+        distance: int = 0,
+        conventional_window: int = 0,
+    ) -> None:
+        if distance < 0 or conventional_window < 0:
+            raise ValueError("prefetch windows must be non-negative")
+        self.tables = tables
+        self.batch_keys = batch_keys
+        self.distance = distance
+        self.conventional_window = conventional_window
+        self._buffer_cursor = 0
+        self._cache_cursor = 0
+
+    def advance(self, step: int) -> dict[str, int]:
+        """Prefetch for the window following batch ``step``.
+
+        Returns counters ``{"buffer": n_staged, "cache": n_cached}``.
+        """
+        staged = 0
+        cached = 0
+        buffer_target = min(len(self.batch_keys), step + 1 + self.distance)
+        start = max(self._buffer_cursor, step + 1)
+        for index in range(start, buffer_target):
+            staged += self.tables.lookahead(self.batch_keys[index], dest="buffer")
+        self._buffer_cursor = max(self._buffer_cursor, buffer_target)
+
+        cache_target = min(len(self.batch_keys), step + 1 + self.conventional_window)
+        start = max(self._cache_cursor, step + 1)
+        for index in range(start, cache_target):
+            cached += self.tables.lookahead(self.batch_keys[index], dest="cache")
+        self._cache_cursor = max(self._cache_cursor, cache_target)
+        return {"buffer": staged, "cache": cached}

@@ -1,0 +1,329 @@
+"""The MLKV store: FASTER plus latch-free vector clocks and Lookahead.
+
+Get/Put follow the concurrency protocol of paper §III-C1 exactly:
+
+* a **Get** first spins until the record's staleness counter admits it
+  (≤ ``staleness_bound``), then — with one compare-and-swap — verifies the
+  record is unlocked, not replaced, and at the observed generation, and
+  swaps in a word with the locked bit set and staleness **incremented**;
+* a **Put** skips the admission wait (it only reduces staleness) and its
+  CAS swaps in a locked word with staleness **decremented**;
+* after reading/updating the value, the release step clears the lock and
+  bumps the generation; a read-copy-update additionally sets the old
+  copy's replaced bit so racing operations re-resolve the address.
+
+When a Get cannot admit, MLKV invokes the registered *stall handler* —
+the training engine's "apply pending embedding updates" hook — and
+retries.  The time the handler spends applying updates is exactly the
+data-stall time of Figure 2; MLKV counts stall events and stall seconds
+in :class:`MLKVStats` so the figures can report it.
+
+Setting ``bounded_staleness=False`` bypasses all word manipulation on the
+hot path, which is the "user disables bounded staleness consistency"
+configuration of §IV-E (memory overhead only, no CPU overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import StalenessViolation, StorageError
+from repro.kv.faster.record import next_generation, pack_word, unpack_word
+from repro.kv.faster.store import FasterKV
+from repro.core.staleness import ASP_BOUND, ConsistencyMode, mode_for_bound
+
+#: Extra CPU charged per op for vector-clock maintenance (≈ the <10%
+#: uniform / <20% zipfian overhead measured in Figure 10).
+CLOCK_OVERHEAD_SECONDS = 0.08e-6
+
+#: Give up after this many stall-handler invocations for one Get.
+_MAX_STALL_ROUNDS = 1_000_000
+
+
+@dataclass
+class MLKVStats:
+    """Counters specific to MLKV's optimizations."""
+
+    stall_events: int = 0
+    stall_seconds: float = 0.0
+    cas_retries: int = 0
+    lookahead_copied: int = 0
+    lookahead_skipped_memory: int = 0
+    lookahead_requests: int = 0
+    overflow_entries: int = 0
+
+
+class MLKV(FasterKV):
+    """Bounded-staleness, lookahead-capable key-value store.
+
+    Parameters
+    ----------
+    directory:
+        Workspace directory (hybrid log + checkpoints).
+    staleness_bound:
+        Per-key bound on outstanding Gets; 0 = BSP, ``ASP_BOUND`` = ASP.
+    bounded_staleness:
+        When ``False``, Get/Put skip the vector-clock protocol entirely
+        and behave exactly like FASTER (used by the YCSB ablation).
+    **store_kwargs:
+        Forwarded to :class:`~repro.kv.faster.store.FasterKV`
+        (``ssd``, ``memory_budget_bytes``, ``page_bytes``, ...).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        staleness_bound: int = ASP_BOUND,
+        bounded_staleness: bool = True,
+        **store_kwargs,
+    ) -> None:
+        if staleness_bound < 0:
+            raise ValueError("staleness_bound must be non-negative")
+        super().__init__(directory, **store_kwargs)
+        self.staleness_bound = staleness_bound
+        self.bounded_staleness = bounded_staleness
+        self.mlkv_stats = MLKVStats()
+        self._stall_handler: Optional[Callable[[int], bool]] = None
+        # Rare-path fallback: staleness counters for records whose word
+        # left memory while they still had outstanding Gets.
+        self._overflow_staleness: dict[int, int] = {}
+
+    @property
+    def mode(self) -> ConsistencyMode:
+        return mode_for_bound(self.staleness_bound)
+
+    def set_stall_handler(self, handler: Optional[Callable[[int], bool]]) -> None:
+        """Register the hook invoked when a Get exceeds the bound.
+
+        The handler receives the blocked key and returns ``True`` if it
+        made progress (applied at least one pending update); returning
+        ``False`` aborts the Get with :class:`StalenessViolation`.
+        """
+        self._stall_handler = handler
+
+    # ------------------------------------------------------------------
+    # Get / Put with the vector-clock protocol
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> Optional[bytes]:
+        if not self.bounded_staleness:
+            return super().get(key)
+        self._charge_clock_overhead()
+        self._stats.gets += 1
+        rounds = 0
+        while True:
+            with self.epochs.guard():
+                address = self.index.find(key)
+                if address is None:
+                    self._stats.misses += 1
+                    return None
+                if not self.log.in_memory(address):
+                    return self._get_from_disk(key, address)
+                admitted, value = self._try_get_in_memory(key, address)
+            if admitted:
+                return value
+            rounds += 1
+            if rounds > _MAX_STALL_ROUNDS:
+                raise StalenessViolation(
+                    f"key {key} stuck beyond bound {self.staleness_bound}"
+                )
+            self._run_stall_handler(key)
+
+    def _try_get_in_memory(self, key: int, address: int) -> tuple[bool, Optional[bytes]]:
+        """One admission attempt; returns ``(admitted, value)``."""
+        handle = self.log.record_word(address)
+        word = handle.load()
+        locked, replaced, generation, staleness = unpack_word(word)
+        if replaced:
+            # Address superseded between index lookup and word read; the
+            # caller loops and re-resolves through the index.
+            self.mlkv_stats.cas_retries += 1
+            return False, None
+        if staleness > self.staleness_bound:
+            self.mlkv_stats.stall_events += 1
+            return False, None
+        if locked:
+            self.mlkv_stats.cas_retries += 1
+            return False, None
+        desired = pack_word(True, False, generation, staleness + 1)
+        if not handle.compare_and_swap(word, desired):
+            self.mlkv_stats.cas_retries += 1
+            return False, None
+        try:
+            _, record_key, value, _ = self.log.read_record(address)
+            if record_key != key:
+                raise StorageError(f"index corruption: wanted {key}, got {record_key}")
+            self._stats.hits += 1
+            return True, value
+        finally:
+            handle.store(pack_word(False, False, next_generation(generation), staleness + 1))
+
+    def _get_from_disk(self, key: int, address: int) -> Optional[bytes]:
+        """Blocking disk read; staleness tracked in the overflow table."""
+        staleness = self._overflow_staleness.get(key, 0)
+        rounds = 0
+        while staleness > self.staleness_bound:
+            self.mlkv_stats.stall_events += 1
+            rounds += 1
+            if rounds > _MAX_STALL_ROUNDS:
+                raise StalenessViolation(
+                    f"key {key} stuck beyond bound {self.staleness_bound}"
+                )
+            self._run_stall_handler(key)
+            staleness = self._overflow_staleness.get(key, 0)
+        _, record_key, value, _ = self.log.read_record(address)
+        if record_key != key:
+            raise StorageError(f"index corruption: wanted {key}, got {record_key}")
+        self._stats.misses += 1
+        self._overflow_staleness[key] = staleness + 1
+        self.mlkv_stats.overflow_entries = len(self._overflow_staleness)
+        return value
+
+    def put(self, key: int, value: bytes) -> None:
+        if not self.bounded_staleness:
+            super().put(key, value)
+            return
+        self._charge_clock_overhead()
+        self._stats.puts += 1
+        with self.epochs.guard():
+            address = self.index.find(key)
+            if address is not None and self.log.in_memory(address):
+                self._put_in_memory(key, address, value)
+            else:
+                # Disk-resident or fresh key: settle overflow staleness and
+                # append a new copy at the tail.
+                staleness = max(0, self._overflow_staleness.pop(key, 0) - 1)
+                if staleness:
+                    self._overflow_staleness[key] = staleness
+                word = pack_word(False, False, 1, staleness)
+                new_address = self.log.append(key, value, word)
+                self.index.upsert(key, new_address)
+
+    def _put_in_memory(self, key: int, address: int, value: bytes) -> None:
+        while True:
+            handle = self.log.record_word(address)
+            word = handle.load()
+            locked, replaced, generation, staleness = unpack_word(word)
+            if replaced:
+                refreshed = self.index.find(key)
+                if refreshed is None or refreshed == address:
+                    raise StorageError(f"replaced record for {key} has no successor")
+                address = refreshed
+                self.mlkv_stats.cas_retries += 1
+                continue
+            if locked:
+                self.mlkv_stats.cas_retries += 1
+                continue
+            new_staleness = max(0, staleness - 1)
+            desired = pack_word(True, False, generation, new_staleness)
+            if not handle.compare_and_swap(word, desired):
+                self.mlkv_stats.cas_retries += 1
+                continue
+            try:
+                if self.log.in_mutable(address):
+                    try:
+                        self.log.write_value_in_place(address, value)
+                        return
+                    except StorageError:
+                        pass  # length changed: fall through to RCU below
+                new_word = pack_word(False, False, next_generation(generation), new_staleness)
+                new_address = self.log.append(key, value, new_word)
+                self.index.upsert(key, new_address)
+                handle.set_replaced()
+                return
+            finally:
+                # Release the lock on the (possibly superseded) old copy.
+                _, replaced_now, gen_now, stale_now = unpack_word(handle.load())
+                handle.store(
+                    pack_word(False, replaced_now, next_generation(gen_now), stale_now)
+                )
+
+    def rmw(self, key: int, update) -> bytes:
+        """Read-modify-write through the vector-clock protocol.
+
+        The Get half admits under the bound and increments staleness; the
+        Put half settles it, so a completed RMW leaves the clock where it
+        started — matching the 50/50 YCSB workload of §IV-E.
+        """
+        if not self.bounded_staleness:
+            return super().rmw(key, update)
+        new_value = update(self.get(key))
+        self.put(key, new_value)
+        return new_value
+
+    def read_committed(self, key: int) -> Optional[bytes]:
+        """Snapshot read for evaluation: no admission, no clock update."""
+        return super().get(key)
+
+    def staleness_of(self, key: int) -> int:
+        """Current vector-clock value for ``key`` (0 if unknown)."""
+        address = self.index.find(key)
+        if address is None:
+            return 0
+        if self.log.in_memory(address):
+            _, _, _, staleness = unpack_word(self.log.record_word(address).load())
+            return staleness
+        return self._overflow_staleness.get(key, 0)
+
+    # ------------------------------------------------------------------
+    # Look-ahead prefetching (paper §III-C2)
+    # ------------------------------------------------------------------
+    def lookahead(self, keys) -> int:
+        """Asynchronously stage disk-resident ``keys`` into the mutable buffer.
+
+        Records already in memory are skipped — the immutable-region skip
+        is the paper's "do not copy into mutable memory" optimization that
+        avoids re-writing those pages to disk.  Disk records are read at
+        sequential background cost and re-appended at the tail with their
+        original word (staleness preserved), then the index is swung to
+        the new copy.  Returns the number of records copied.
+        """
+        copied = 0
+        self.mlkv_stats.lookahead_requests += len(keys)
+        with self.epochs.guard():
+            disk_resident: list[tuple[int, int]] = []
+            for key in keys:
+                address = self.index.find(key)
+                if address is None:
+                    continue
+                if self.log.in_memory(address):
+                    self.mlkv_stats.lookahead_skipped_memory += 1
+                    continue
+                disk_resident.append((address, key))
+            # One page-granular sequential scan covers the whole batch.
+            disk_resident.sort()
+            self.log.charge_prefetch_pages(address for address, _ in disk_resident)
+            for address, key in disk_resident:
+                word, record_key, value = self.log.prefetch_read(address, charge=False)
+                if record_key != key or value is None:
+                    continue
+                # Fold the overflow-table delta (Gets served while the
+                # record was on disk) back into the staged word, so the
+                # in-memory clock is authoritative again.
+                overflow = self._overflow_staleness.pop(key, 0)
+                if overflow:
+                    locked, replaced, generation, staleness = unpack_word(word)
+                    staleness = min(staleness + overflow, (1 << 32) - 1)
+                    word = pack_word(locked, replaced, generation, staleness)
+                new_address = self.log.append(key, value, word)
+                if self.index.compare_exchange(key, address, new_address):
+                    copied += 1
+        self.mlkv_stats.lookahead_copied += copied
+        return copied
+
+    # ------------------------------------------------------------------
+    def _run_stall_handler(self, key: int) -> None:
+        start = self.clock.now
+        handler = self._stall_handler
+        progressed = handler(key) if handler is not None else False
+        self.mlkv_stats.stall_seconds += self.clock.now - start
+        if not progressed:
+            raise StalenessViolation(
+                f"Get({key}) blocked at bound {self.staleness_bound} "
+                "and no stall handler made progress"
+            )
+
+    def _charge_clock_overhead(self) -> None:
+        self._charge_cpu()
+        if CLOCK_OVERHEAD_SECONDS:
+            self.clock.advance(CLOCK_OVERHEAD_SECONDS, component="cpu")

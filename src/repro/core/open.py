@@ -1,0 +1,98 @@
+"""``MLKV.open`` — the entry point of paper Figure 3, line 3.
+
+``open(model_id, dim, staleness_bound)`` creates (or re-opens) an
+embedding model backed by an MLKV store and returns
+``(model, emb_tables)``: a handle carrying lifecycle operations
+(checkpoint, close, attach the dense network) and the embedding-table
+facade the training loop reads and writes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.device.ssd import SSDModel
+from repro.errors import ConfigError
+from repro.core.checkpoint import CloudCheckpointer
+from repro.core.embedding import EmbeddingTables
+from repro.core.mlkv import MLKV
+from repro.core.staleness import ASP_BOUND, ConsistencyMode
+
+
+class MLKVModel:
+    """Lifecycle handle for an embedding model stored in MLKV."""
+
+    def __init__(
+        self,
+        model_id: str,
+        store: MLKV,
+        tables: EmbeddingTables,
+        checkpointer: Optional[CloudCheckpointer] = None,
+    ) -> None:
+        self.model_id = model_id
+        self.store = store
+        self.tables = tables
+        self.checkpointer = checkpointer
+        self.network = None
+
+    @property
+    def mode(self) -> ConsistencyMode:
+        return self.store.mode
+
+    def attach_network(self, network) -> None:
+        """Associate the dense neural network trained alongside the tables."""
+        self.network = network
+
+    def checkpoint(self) -> None:
+        if self.checkpointer is not None:
+            self.checkpointer.checkpoint()
+        else:
+            self.store.checkpoint()
+
+    def close(self) -> None:
+        self.store.close()
+
+    def __enter__(self) -> "MLKVModel":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def open(
+    model_id: str,
+    dim: int,
+    staleness_bound: int = ASP_BOUND,
+    workspace: str = "mlkv_data",
+    memory_budget_bytes: int = 1 << 22,
+    ssd: Optional[SSDModel] = None,
+    cloud_dir: Optional[str] = None,
+    cache_entries: int = 4096,
+    seed: int = 0,
+    **store_kwargs,
+) -> tuple[MLKVModel, EmbeddingTables]:
+    """Create an embedding model with a controllable staleness bound.
+
+    Parameters mirror the paper's ``Open(model_id, dim, staleness_bound)``
+    with the deployment knobs (workspace path, buffer budget, shared SSD
+    model, optional cloud checkpoint bucket) as keywords.
+
+    Returns ``(model, emb_tables)``.
+    """
+    if not model_id:
+        raise ConfigError("model_id must be a non-empty string")
+    directory = os.path.join(workspace, model_id)
+    store = MLKV(
+        directory,
+        staleness_bound=staleness_bound,
+        ssd=ssd,
+        memory_budget_bytes=memory_budget_bytes,
+        **store_kwargs,
+    )
+    tables = EmbeddingTables(store, dim, seed=seed, cache_entries=cache_entries)
+    checkpointer = None
+    if cloud_dir is not None:
+        checkpointer = CloudCheckpointer(store, cloud_dir)
+    model = MLKVModel(model_id, store, tables, checkpointer)
+    return model, tables

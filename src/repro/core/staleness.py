@@ -1,0 +1,37 @@
+"""Consistency modes derived from the staleness bound (paper §III-C1).
+
+* bound = 0           → Bulk Synchronous Parallel (BSP, Valiant 1990)
+* bound = ∞ (2⁶³−1)   → Asynchronous Parallel (ASP, Hogwild!)
+* anything in between → Stale Synchronous Parallel (SSP, Ho et al. 2013)
+
+The bound limits, per key, how many Get admissions may be outstanding
+(fetched for training but not yet written back).  A Get admits when the
+record's staleness counter is ≤ bound; a Put always admits because it only
+reduces staleness.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: The paper's "infinity": INT64_MAX.
+ASP_BOUND = (1 << 63) - 1
+
+
+class ConsistencyMode(enum.Enum):
+    """Training consistency model implied by a staleness bound."""
+
+    BSP = "bulk-synchronous"
+    SSP = "stale-synchronous"
+    ASP = "asynchronous"
+
+
+def mode_for_bound(staleness_bound: int) -> ConsistencyMode:
+    """Classify ``staleness_bound`` per the paper's three regimes."""
+    if staleness_bound < 0:
+        raise ValueError("staleness_bound must be non-negative")
+    if staleness_bound == 0:
+        return ConsistencyMode.BSP
+    if staleness_bound >= ASP_BOUND:
+        return ConsistencyMode.ASP
+    return ConsistencyMode.SSP

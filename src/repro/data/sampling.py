@@ -1,0 +1,117 @@
+"""Minibatch samplers: GNN neighborhoods and KGE negatives.
+
+The neighbor sampler produces the frontier/block structure
+:class:`~repro.models.gnn.GNNBase` consumes: per layer, an index array
+selecting destination nodes inside the source frontier, and either a
+row-normalized mean matrix (GraphSage) or a boolean adjacency mask (GAT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.graphs import GraphDataset
+
+
+@dataclass
+class SampledBlocks:
+    """L-hop sampled computation graph for one seed minibatch."""
+
+    input_nodes: np.ndarray        # outermost frontier (all nodes to fetch)
+    frontiers: list[np.ndarray]    # per layer: dst index into the src frontier
+    structures: list[np.ndarray]   # per layer: mean matrix or adjacency mask
+    seeds: np.ndarray              # the classified nodes (innermost frontier)
+
+
+class NeighborSampler:
+    """Uniform fanout neighbor sampling (GraphSage-style).
+
+    Parameters
+    ----------
+    graph:
+        CSR graph.
+    fanouts:
+        Neighbors sampled per layer, outermost last; ``len(fanouts)`` = L.
+    mode:
+        ``"mean"`` emits row-normalized aggregation matrices,
+        ``"mask"`` emits boolean adjacency masks (for attention).
+    """
+
+    def __init__(self, graph: GraphDataset, fanouts: tuple[int, ...] = (5, 5),
+                 mode: str = "mean", seed: int = 0) -> None:
+        if mode not in ("mean", "mask"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.graph = graph
+        self.fanouts = tuple(fanouts)
+        self.mode = mode
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, seeds: np.ndarray) -> SampledBlocks:
+        """Expand ``seeds`` into an L-hop computation graph."""
+        seeds = np.asarray(seeds, dtype=np.int64)
+        # Build frontiers inside-out: layer L classifies the seeds.
+        layer_nodes = [seeds]
+        layer_edges: list[dict[int, np.ndarray]] = []
+        for fanout in reversed(self.fanouts):
+            dst_nodes = layer_nodes[0]
+            edges: dict[int, np.ndarray] = {}
+            src_set: list[int] = list(dst_nodes)
+            seen = set(int(n) for n in dst_nodes)
+            for node in dst_nodes:
+                neighbors = self.graph.neighbors(int(node))
+                if len(neighbors) == 0:
+                    edges[int(node)] = np.empty(0, dtype=np.int64)
+                    continue
+                take = min(fanout, len(neighbors))
+                chosen = self._rng.choice(neighbors, size=take, replace=False)
+                edges[int(node)] = chosen
+                for neighbor in chosen:
+                    if int(neighbor) not in seen:
+                        seen.add(int(neighbor))
+                        src_set.append(int(neighbor))
+            layer_nodes.insert(0, np.array(src_set, dtype=np.int64))
+            layer_edges.insert(0, edges)
+
+        frontiers: list[np.ndarray] = []
+        structures: list[np.ndarray] = []
+        for level in range(len(self.fanouts)):
+            src = layer_nodes[level]
+            dst = layer_nodes[level + 1]
+            position = {int(node): i for i, node in enumerate(src)}
+            dst_index = np.array([position[int(node)] for node in dst], dtype=np.int64)
+            structure = np.zeros((len(dst), len(src)), dtype=np.float32)
+            for row, node in enumerate(dst):
+                chosen = layer_edges[level][int(node)]
+                if len(chosen) == 0:
+                    structure[row, position[int(node)]] = 1.0  # self fallback
+                    continue
+                for neighbor in chosen:
+                    structure[row, position[int(neighbor)]] = 1.0
+            if self.mode == "mean":
+                structure /= structure.sum(axis=1, keepdims=True)
+                structures.append(structure)
+            else:
+                structures.append(structure.astype(bool))
+            frontiers.append(dst_index)
+        return SampledBlocks(
+            input_nodes=layer_nodes[0],
+            frontiers=frontiers,
+            structures=structures,
+            seeds=seeds,
+        )
+
+
+class NegativeSampler:
+    """Uniform negative-tail sampler for KGE training."""
+
+    def __init__(self, num_entities: int, negatives: int = 8, seed: int = 0) -> None:
+        if num_entities <= 1:
+            raise ValueError("need more than one entity")
+        self.num_entities = num_entities
+        self.negatives = negatives
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, batch_size: int) -> np.ndarray:
+        return self._rng.integers(0, self.num_entities, (batch_size, self.negatives))

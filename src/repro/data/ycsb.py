@@ -1,0 +1,158 @@
+"""YCSB-style workload generation (paper §IV-E, Figure 10).
+
+Implements the two key-choosers the paper sweeps — uniform and the
+classic YCSB *scrambled zipfian* (Gray's incremental zeta construction
+with FNV hashing to decorrelate rank from key id) — and the 50% read /
+50% update operation mix run against MLKV and FASTER.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """64-bit FNV-1a over the little-endian bytes of ``value``."""
+    data = value.to_bytes(8, "little", signed=False)
+    state = _FNV_OFFSET
+    for byte in data:
+        state ^= byte
+        state = (state * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return state
+
+
+class UniformGenerator:
+    """Uniform key chooser over ``[0, item_count)``."""
+
+    def __init__(self, item_count: int, seed: int = 0) -> None:
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        self.item_count = item_count
+        self._rng = np.random.default_rng(seed)
+
+    def next_key(self) -> int:
+        return int(self._rng.integers(0, self.item_count))
+
+    def batch(self, n: int) -> np.ndarray:
+        return self._rng.integers(0, self.item_count, n)
+
+    def hot_mass(self) -> float:
+        """Σ pₖ² — collision probability of two independent accesses."""
+        return 1.0 / self.item_count
+
+
+class ZipfianGenerator:
+    """YCSB's scrambled zipfian chooser with constant 0.99.
+
+    Draws zipf-distributed *ranks* using the standard inverse-CDF
+    construction, then scrambles rank → key with FNV so that hot keys are
+    spread over the key space (YCSB's ``ScrambledZipfianGenerator``).
+    """
+
+    def __init__(self, item_count: int, theta: float = 0.99, seed: int = 0) -> None:
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        if not 0.0 < theta < 1.0:
+            raise ValueError("theta must be in (0, 1)")
+        self.item_count = item_count
+        self.theta = theta
+        self._rng = np.random.default_rng(seed)
+        self._zetan = self._zeta(item_count, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / item_count) ** (1.0 - theta)) / (
+            1.0 - self._zeta2 / self._zetan
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        return float((1.0 / np.power(ranks, theta)).sum())
+
+    def _next_rank(self, u: float) -> int:
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.item_count * (self._eta * u - self._eta + 1.0) ** self._alpha)
+
+    def next_key(self) -> int:
+        rank = self._next_rank(float(self._rng.random()))
+        return fnv1a_64(rank) % self.item_count
+
+    def batch(self, n: int) -> np.ndarray:
+        draws = self._rng.random(n)
+        ranks = np.fromiter((self._next_rank(float(u)) for u in draws), dtype=np.int64, count=n)
+        return np.fromiter(
+            (fnv1a_64(int(r)) % self.item_count for r in ranks), dtype=np.int64, count=n
+        )
+
+    def hot_mass(self) -> float:
+        """Σ pₖ² under the zipf pmf (dominated by the head)."""
+        ranks = np.arange(1, min(self.item_count, 10000) + 1, dtype=np.float64)
+        probs = (1.0 / np.power(ranks, self.theta)) / self._zetan
+        return float((probs * probs).sum())
+
+
+@dataclass
+class YCSBOp:
+    is_read: bool
+    key: int
+
+
+class YCSBWorkload:
+    """50/50 read/update workload over a loaded key space.
+
+    Parameters
+    ----------
+    item_count:
+        Number of pre-loaded keys.
+    value_bytes:
+        Value size (the Figure 10 right panel sweeps this).
+    distribution:
+        ``"uniform"`` or ``"zipfian"``.
+    read_fraction:
+        Paper uses 0.5.
+    """
+
+    def __init__(
+        self,
+        item_count: int,
+        value_bytes: int = 64,
+        distribution: str = "zipfian",
+        read_fraction: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if distribution == "uniform":
+            self.generator = UniformGenerator(item_count, seed=seed)
+        elif distribution == "zipfian":
+            self.generator = ZipfianGenerator(item_count, seed=seed)
+        else:
+            raise ValueError(f"unknown distribution {distribution!r}")
+        self.item_count = item_count
+        self.value_bytes = value_bytes
+        self.read_fraction = read_fraction
+        self._rng = np.random.default_rng(seed ^ 0x5C3A)
+
+    def load_values(self) -> Iterator[tuple[int, bytes]]:
+        """Initial dataset: every key with a deterministic payload."""
+        for key in range(self.item_count):
+            yield key, self.payload(key)
+
+    def payload(self, key: int) -> bytes:
+        return bytes([key % 251]) * self.value_bytes
+
+    def operations(self, count: int) -> Iterator[YCSBOp]:
+        reads = self._rng.random(count) < self.read_fraction
+        for is_read in reads:
+            yield YCSBOp(is_read=bool(is_read), key=self.generator.next_key())
+
+    def hot_mass(self) -> float:
+        return self.generator.hot_mass()

@@ -1,0 +1,129 @@
+"""Deterministic simulated clock with per-component busy-time accounting.
+
+All storage and compute costs in the benchmarks are charged to a
+``SimClock``.  The clock distinguishes two kinds of charges:
+
+* **blocking** charges advance simulated time (the caller waited), and
+* **overlapped** charges record device busy time without advancing the
+  caller's timeline (the work happened in the background, e.g. look-ahead
+  prefetching or LSM compaction on a flush thread).
+
+At the end of a run ``busy_seconds`` per component feeds the energy model,
+and ``drain()`` resolves any backlog of overlapped work that could not, in
+fact, be hidden behind foreground time (the device is not infinitely fast).
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically increasing simulated clock.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time in seconds.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._busy: dict[str, float] = {}
+        self._background: dict[str, float] = {}
+        self._last_drain_now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float, component: str = "cpu") -> None:
+        """Blocking charge: the caller waited ``seconds`` on ``component``."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds!r} seconds")
+        self._now += seconds
+        self._busy[component] = self._busy.get(component, 0.0) + seconds
+
+    def charge_background(self, seconds: float, component: str = "ssd") -> None:
+        """Overlapped charge: ``component`` was busy but the caller did not wait.
+
+        Background work accumulates as a backlog per component.  Foreground
+        time (``advance``) implicitly drains the backlog because the device
+        works while the caller computes; any remainder is settled by
+        ``drain``.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot charge {seconds!r} seconds")
+        self._busy[component] = self._busy.get(component, 0.0) + seconds
+        self._background[component] = self._background.get(component, 0.0) + seconds
+
+    def drain(self) -> float:
+        """Settle background backlogs that exceed elapsed foreground time.
+
+        For each component, background work up to the total foreground time
+        is considered hidden (the device worked in parallel).  Work beyond
+        that could not be hidden, so it advances the clock.  Returns the
+        number of seconds the clock advanced.
+        """
+        foreground = self._now
+        stalled = 0.0
+        for component, backlog in self._background.items():
+            hidden = min(backlog, foreground)
+            stalled += backlog - hidden
+            self._background[component] = 0.0
+        self._now += stalled
+        return stalled
+
+    def drain_step(self, max_carry_seconds: float) -> float:
+        """Per-step settlement of overlapped work (called each batch).
+
+        Background work issued during a step hides behind that step's
+        foreground time; what remains may stay *in flight* up to
+        ``max_carry_seconds`` (how far ahead the prefetch window extends)
+        — a deeper look-ahead window legitimately overlaps more future
+        compute.  Backlog beyond the carry capacity means the device fell
+        behind its consumers, so the excess advances the clock as stall
+        time.  Returns the stalled seconds.
+        """
+        if max_carry_seconds < 0:
+            raise ValueError("max_carry_seconds must be non-negative")
+        window = max(0.0, self._now - self._last_drain_now)
+        stalled = 0.0
+        for component, backlog in self._background.items():
+            hidden = min(backlog, window)
+            carry = backlog - hidden
+            if carry > max_carry_seconds:
+                stalled += carry - max_carry_seconds
+                carry = max_carry_seconds
+            self._background[component] = carry
+        self._now += stalled
+        self._last_drain_now = self._now
+        return stalled
+
+    def busy_seconds(self, component: str) -> float:
+        """Total busy time charged to ``component`` (blocking + overlapped)."""
+        return self._busy.get(component, 0.0)
+
+    def components(self) -> dict[str, float]:
+        """A copy of the per-component busy-time table."""
+        return dict(self._busy)
+
+    def snapshot(self) -> tuple[float, dict[str, float], dict[str, float]]:
+        """Capture clock state; pair with :meth:`restore` to exclude a
+        section (e.g. periodic evaluation) from training-time accounting."""
+        return self._now, dict(self._busy), dict(self._background)
+
+    def restore(self, state: tuple[float, dict[str, float], dict[str, float]]) -> None:
+        """Rewind to a state captured by :meth:`snapshot`."""
+        self._now, busy, background = state
+        self._busy = dict(busy)
+        self._background = dict(background)
+
+    def reset(self) -> None:
+        """Zero the clock and all accounting (for reuse between sweeps)."""
+        self._now = 0.0
+        self._last_drain_now = 0.0
+        self._busy.clear()
+        self._background.clear()
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f}, busy={self._busy})"

@@ -1,0 +1,87 @@
+"""Analytic concurrency model for the YCSB thread sweep (Figure 10, middle).
+
+The original experiment runs FASTER's C++ threads on a 64-vCPU host.  A
+Python reproduction cannot scale real threads past the GIL, so the thread
+sweep uses a closed queueing model instead: each of ``threads`` workers
+repeatedly executes operations whose service time has a CPU part (store
+code, including any vector-clock overhead and CAS retries under
+contention) and, with some miss probability, an SSD part.  Throughput is
+the minimum of the thread-level, core-level, and device-level bounds:
+
+* thread bound — ``threads / t_op``: each worker issues one op per service
+  time, I/O overlapped across workers;
+* core bound — ``cores / t_cpu``: the CPU portion cannot exceed the
+  physical core count;
+* device bound — ``iops * queue_depth / p_miss``: the SSD sustains a
+  bounded number of random reads per second.
+
+CAS retries model the contention the paper observes on skewed workloads:
+the probability that another thread holds the same record grows with both
+the workload's hot-key mass and the thread count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ConcurrencyModel:
+    """Closed-loop throughput model for multi-threaded key-value access.
+
+    Parameters
+    ----------
+    cores:
+        Physical cores available (g5.16xlarge has 32 physical cores).
+    cpu_op_seconds:
+        CPU service time of one store operation (hash + log access).
+    clock_overhead_seconds:
+        Extra CPU per op for MLKV's vector-clock maintenance; 0 for plain
+        FASTER or when bounded staleness is disabled.
+    retry_seconds:
+        Cost of one failed compare-and-swap plus re-read.
+    io_latency:
+        Random-read latency for a miss.
+    queue_depth:
+        NVMe queue depth (parallel in-flight I/Os the device sustains).
+    """
+
+    cores: int = 32
+    cpu_op_seconds: float = 0.9e-6
+    clock_overhead_seconds: float = 0.0
+    retry_seconds: float = 0.25e-6
+    io_latency: float = 80e-6
+    queue_depth: int = 32
+
+    def expected_retries(self, threads: int, hot_mass: float) -> float:
+        """Expected CAS retries per operation.
+
+        ``hot_mass`` is the probability that two concurrent operations
+        touch the same record (≈ Σ p_k² over the key distribution); for a
+        uniform workload over millions of keys it is effectively zero,
+        while a zipfian(0.99) workload concentrates several percent of all
+        accesses on a handful of keys.
+        """
+        if threads <= 1 or hot_mass <= 0:
+            return 0.0
+        collision = min(1.0, hot_mass * (threads - 1))
+        # Geometric retry: expected retries = p / (1 - p) capped for stability.
+        collision = min(collision, 0.9)
+        return collision / (1.0 - collision)
+
+    def throughput(self, threads: int, miss_probability: float, hot_mass: float = 0.0) -> float:
+        """Operations per second sustained by ``threads`` workers."""
+        if threads <= 0:
+            raise ValueError("threads must be positive")
+        if not 0.0 <= miss_probability <= 1.0:
+            raise ValueError("miss_probability must be in [0, 1]")
+        retries = self.expected_retries(threads, hot_mass)
+        t_cpu = self.cpu_op_seconds + self.clock_overhead_seconds + retries * self.retry_seconds
+        t_op = t_cpu + miss_probability * self.io_latency
+        thread_bound = threads / t_op
+        core_bound = min(threads, self.cores) / t_cpu
+        bounds = [thread_bound, core_bound]
+        if miss_probability > 0:
+            device_iops = self.queue_depth / self.io_latency
+            bounds.append(device_iops / miss_probability)
+        return min(bounds)

@@ -1,0 +1,53 @@
+"""Approximate energy accounting (Figure 7, bottom).
+
+The paper reports "approximate energy consumption following previous
+methods" (carbontracker / Zeus style): energy is the sum over components of
+rated power times busy time, plus idle draw for the whole run.  The same
+model is used here, fed by the per-component busy times the
+:class:`~repro.device.clock.SimClock` accumulates.
+"""
+
+from __future__ import annotations
+
+from repro.device.clock import SimClock
+
+#: Rated component powers in Watts.  GPU ≈ V100 SXM2 board power under
+#: load, CPU ≈ one socket of a training host, SSD ≈ enterprise NVMe under
+#: sustained I/O, idle ≈ rest-of-host draw attributed to the job.
+POWER_WATTS = {
+    "gpu": 300.0,
+    "cpu": 120.0,
+    "ssd": 12.0,
+    "idle": 80.0,
+}
+
+
+class EnergyModel:
+    """Converts clock busy time into Joules.
+
+    Parameters
+    ----------
+    power_watts:
+        Per-component power table; defaults to :data:`POWER_WATTS`.
+    """
+
+    def __init__(self, power_watts: dict[str, float] | None = None) -> None:
+        self.power_watts = dict(POWER_WATTS if power_watts is None else power_watts)
+        for name, watts in self.power_watts.items():
+            if watts < 0:
+                raise ValueError(f"negative power for component {name!r}")
+
+    def joules(self, clock: SimClock) -> float:
+        """Total energy for the run recorded by ``clock``."""
+        active = sum(
+            self.power_watts.get(component, 0.0) * seconds
+            for component, seconds in clock.components().items()
+        )
+        idle = self.power_watts.get("idle", 0.0) * clock.now
+        return active + idle
+
+    def joules_per_batch(self, clock: SimClock, batches: int) -> float:
+        """Energy normalized by batch count, as plotted in Figure 7."""
+        if batches <= 0:
+            raise ValueError("batches must be positive")
+        return self.joules(clock) / batches

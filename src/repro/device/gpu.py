@@ -1,0 +1,51 @@
+"""Cost model of the training accelerator.
+
+The paper trains on an A10G (g5.16xlarge) or V100.  Dense neural network
+compute in this reproduction runs on the CPU via numpy, so absolute times
+would reflect the host machine rather than the paper's GPUs.  To keep the
+figures deterministic, trainers charge each forward/backward pass to this
+model as FLOPs at a fixed achievable throughput instead of wall-clock.
+"""
+
+from __future__ import annotations
+
+from repro.device.clock import SimClock
+
+
+class GPUModel:
+    """Charges neural-network compute to the simulated clock.
+
+    Parameters
+    ----------
+    clock:
+        Simulated clock to charge.
+    flops_per_second:
+        Sustained throughput.  The default (10 TFLOP/s) is a realistic
+        achievable rate for mixed dense/sparse DLRM batches on a V100.
+    kernel_overhead:
+        Fixed per-launch cost (dispatch + sync), default 30 µs.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        flops_per_second: float = 10e12,
+        kernel_overhead: float = 30e-6,
+    ) -> None:
+        if flops_per_second <= 0:
+            raise ValueError("flops_per_second must be positive")
+        self.clock = clock
+        self.flops_per_second = flops_per_second
+        self.kernel_overhead = kernel_overhead
+        self.launches = 0
+        self.total_flops = 0.0
+
+    def charge(self, flops: float, kernels: int = 1) -> float:
+        """Charge ``flops`` of compute spread over ``kernels`` launches."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        cost = flops / self.flops_per_second + kernels * self.kernel_overhead
+        self.clock.advance(cost, component="gpu")
+        self.launches += kernels
+        self.total_flops += flops
+        return cost

@@ -1,0 +1,31 @@
+"""Exception hierarchy shared across the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class StorageError(ReproError):
+    """A key-value store failed an operation (I/O, corruption, closed)."""
+
+
+class KeyNotFound(StorageError):
+    """Requested key does not exist in the store."""
+
+    def __init__(self, key: object) -> None:
+        super().__init__(f"key not found: {key!r}")
+        self.key = key
+
+
+class StalenessViolation(ReproError):
+    """A Get could not be admitted within the configured staleness bound."""
+
+
+class CheckpointError(StorageError):
+    """Checkpoint or recovery failed."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration supplied by the caller."""

@@ -1,0 +1,17 @@
+"""Disk-based key-value storage engines.
+
+Three engines share the :class:`~repro.kv.api.KVStore` interface:
+
+* :mod:`repro.kv.faster` — a FASTER-like hybrid-log store (the substrate
+  MLKV is built on, Section III of the paper),
+* :mod:`repro.kv.lsm` — an LSM-tree store standing in for RocksDB,
+* :mod:`repro.kv.btree` — a B+tree store standing in for WiredTiger.
+
+All three persist to real files and charge simulated I/O costs to a shared
+:class:`~repro.device.ssd.SSDModel`, so the Figure 7 buffer-size sweeps
+exercise genuine hit/miss paths in each engine.
+"""
+
+from repro.kv.api import KVStore, StoreStats
+
+__all__ = ["KVStore", "StoreStats"]

@@ -1,0 +1,84 @@
+"""Common interface implemented by all storage engines.
+
+Keys are non-negative integers (sparse feature identifiers); values are
+opaque ``bytes``.  The embedding layer above serializes vectors with
+:mod:`repro.kv.common.serialization`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+
+@dataclass
+class StoreStats:
+    """Operation and cache counters kept by every engine."""
+
+    gets: int = 0
+    puts: int = 0
+    deletes: int = 0
+    hits: int = 0
+    misses: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class KVStore(ABC):
+    """Abstract key-value store with the interface MLKV builds on."""
+
+    @abstractmethod
+    def get(self, key: int) -> Optional[bytes]:
+        """Return the value for ``key`` or ``None`` if absent."""
+
+    @abstractmethod
+    def put(self, key: int, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+
+    @abstractmethod
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns whether it existed."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Flush and release resources; the store must not be used after."""
+
+    @property
+    @abstractmethod
+    def stats(self) -> StoreStats:
+        """Live counters for hits/misses/op counts."""
+
+    def rmw(self, key: int, update: Callable[[Optional[bytes]], bytes]) -> bytes:
+        """Read-modify-write: apply ``update`` to the current value.
+
+        Engines with cheaper in-place paths override this; the default is
+        get-then-put.
+        """
+        new_value = update(self.get(key))
+        self.put(key, new_value)
+        return new_value
+
+    def multi_get(self, keys) -> list:
+        """Batched get preserving input order (``None`` for absent keys)."""
+        return [self.get(key) for key in keys]
+
+    def multi_put(self, keys, values) -> None:
+        """Batched put; ``keys`` and ``values`` must have equal length."""
+        if len(keys) != len(values):
+            raise ValueError("multi_put requires equally long keys and values")
+        for key, value in zip(keys, values):
+            self.put(key, value)
+
+    def scan(self) -> Iterator[tuple[int, bytes]]:  # pragma: no cover - optional
+        """Iterate all live records; order is engine-specific."""
+        raise NotImplementedError(f"{type(self).__name__} does not support scans")
+
+    def __enter__(self) -> "KVStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,18 @@
+"""B+tree key-value store (stands in for WiredTiger).
+
+A copy-on-write B+tree over an append-only page file with a CLOCK page
+cache.  Reads descend root-to-leaf, faulting missing pages in with random
+SSD reads; dirty pages are reconciled (re-serialized and appended) when
+evicted or at checkpoint, which mirrors WiredTiger's no-overwrite
+reconciliation model.
+
+Training workloads write every embedding they read, so the B+tree pays a
+page write per evicted dirty leaf *and* a page read per cold leaf — the
+worst of both amplifications.  That is why WiredTiger-backed variants
+trail in Figure 7 (up to 12.57× on the GNN workload).
+"""
+
+from repro.kv.btree.pager import PageStore
+from repro.kv.btree.store import BTreeKV
+
+__all__ = ["PageStore", "BTreeKV"]

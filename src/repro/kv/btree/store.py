@@ -1,0 +1,290 @@
+"""B+tree store over the page file.
+
+Classic order-``fanout`` B+tree: internal nodes hold separator keys and
+child page ids, leaves hold sorted ``(key, value)`` arrays.  Node pages
+serialize with a compact binary encoding; a CLOCK cache bounded by the
+memory budget holds deserialized nodes, writing dirty pages back through
+the pager on eviction.
+
+Deletions are lazy (leaves may underflow), which WiredTiger also permits
+between reconciliations; at this reproduction's scale rebalancing on
+delete changes nothing measurable.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import struct
+from typing import Callable, Iterator, Optional
+
+from repro.device.clock import SimClock
+from repro.device.ssd import SSDModel
+from repro.errors import StorageError
+from repro.kv.api import KVStore, StoreStats
+from repro.kv.common.cache import ClockCache
+from repro.kv.btree.pager import PageStore
+
+DEFAULT_OP_CPU_SECONDS = 1.2e-6
+_DEFAULT_FANOUT = 64
+_PAGE_ESTIMATE_BYTES = 4096
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_META = "btree.meta.json"
+
+
+class _Node:
+    __slots__ = ("leaf", "keys", "values", "children")
+
+    def __init__(self, leaf: bool) -> None:
+        self.leaf = leaf
+        self.keys: list[int] = []
+        self.values: list[bytes] = []  # leaves only
+        self.children: list[int] = []  # internal only (page ids)
+
+    def encode(self) -> bytes:
+        parts = [b"L" if self.leaf else b"I", _U32.pack(len(self.keys))]
+        for key in self.keys:
+            parts.append(_U64.pack(key))
+        if self.leaf:
+            for value in self.values:
+                parts.append(_U32.pack(len(value)))
+                parts.append(value)
+        else:
+            for child in self.children:
+                parts.append(_U64.pack(child))
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "_Node":
+        leaf = data[0:1] == b"L"
+        node = cls(leaf)
+        (count,) = _U32.unpack_from(data, 1)
+        offset = 1 + _U32.size
+        for _ in range(count):
+            node.keys.append(_U64.unpack_from(data, offset)[0])
+            offset += _U64.size
+        if leaf:
+            for _ in range(count):
+                (length,) = _U32.unpack_from(data, offset)
+                offset += _U32.size
+                node.values.append(bytes(data[offset : offset + length]))
+                offset += length
+        else:
+            for _ in range(count + 1):
+                node.children.append(_U64.unpack_from(data, offset)[0])
+                offset += _U64.size
+        return node
+
+
+class BTreeKV(KVStore):
+    """Copy-on-write B+tree store (WiredTiger stand-in).
+
+    Parameters
+    ----------
+    directory:
+        Workspace for the page file and checkpoint metadata.
+    ssd:
+        Shared SSD cost model (private one created when omitted).
+    memory_budget_bytes:
+        Page-cache budget; divided by a 4 KiB page estimate to get the
+        cached node count.
+    fanout:
+        Maximum keys per node before a split.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        ssd: Optional[SSDModel] = None,
+        memory_budget_bytes: int = 1 << 22,
+        fanout: int = _DEFAULT_FANOUT,
+        op_cpu_seconds: float = DEFAULT_OP_CPU_SECONDS,
+    ) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        if ssd is None:
+            ssd = SSDModel(SimClock())
+        self.ssd = ssd
+        self.clock = ssd.clock
+        if fanout < 4:
+            raise ValueError("fanout must be at least 4")
+        self.fanout = fanout
+        self.op_cpu_seconds = op_cpu_seconds
+        capacity = max(8, memory_budget_bytes // _PAGE_ESTIMATE_BYTES)
+        self._cache = ClockCache(capacity, on_evict=self._on_evict)
+        self._dirty: set[int] = set()
+        self._stats = StoreStats(extra={"page_reads": 0, "page_writes": 0, "splits": 0})
+        self._closed = False
+
+        meta_path = os.path.join(directory, _META)
+        page_path = os.path.join(directory, "btree.pages")
+        if os.path.exists(meta_path):
+            self.pager, self.root_page = PageStore.recover(page_path, meta_path, ssd)
+        else:
+            self.pager = PageStore(page_path, ssd)
+            root = _Node(leaf=True)
+            self.root_page = self.pager.allocate()
+            self._install(self.root_page, root)
+
+    # ------------------------------------------------------------------
+    # node access
+    # ------------------------------------------------------------------
+    def _on_evict(self, page_id: int, node: _Node) -> None:
+        if page_id in self._dirty:
+            self.pager.write(page_id, node.encode(), blocking=False)
+            self._dirty.discard(page_id)
+            self._stats.extra["page_writes"] += 1
+
+    def _load(self, page_id: int) -> _Node:
+        node = self._cache.get(page_id)
+        if node is not None:
+            self._stats.hits += 1
+            return node
+        self._stats.misses += 1
+        data = self.pager.read(page_id, blocking=True)
+        self._stats.extra["page_reads"] += 1
+        node = _Node.decode(data)
+        self._cache.put(page_id, node)
+        return node
+
+    def _install(self, page_id: int, node: _Node) -> None:
+        self._cache.put(page_id, node)
+        self._mark_dirty(page_id, node)
+
+    def _mark_dirty(self, page_id: int, node: _Node) -> None:
+        self._dirty.add(page_id)
+        if page_id not in self._cache:
+            # Evicted mid-operation; re-insert so the final state persists.
+            self._cache.put(page_id, node)
+
+    # ------------------------------------------------------------------
+    # KVStore interface
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> StoreStats:
+        return self._stats
+
+    def get(self, key: int) -> Optional[bytes]:
+        self._charge_cpu()
+        self._stats.gets += 1
+        node = self._load(self.root_page)
+        while not node.leaf:
+            child_index = bisect.bisect_right(node.keys, key)
+            node = self._load(node.children[child_index])
+        pos = bisect.bisect_left(node.keys, key)
+        if pos < len(node.keys) and node.keys[pos] == key:
+            return node.values[pos]
+        return None
+
+    def put(self, key: int, value: bytes) -> None:
+        self._charge_cpu()
+        self._stats.puts += 1
+        path: list[tuple[int, _Node, int]] = []  # (page_id, node, child_index)
+        page_id = self.root_page
+        node = self._load(page_id)
+        while not node.leaf:
+            child_index = bisect.bisect_right(node.keys, key)
+            path.append((page_id, node, child_index))
+            page_id = node.children[child_index]
+            node = self._load(page_id)
+        pos = bisect.bisect_left(node.keys, key)
+        if pos < len(node.keys) and node.keys[pos] == key:
+            node.values[pos] = value
+        else:
+            node.keys.insert(pos, key)
+            node.values.insert(pos, value)
+        self._mark_dirty(page_id, node)
+        self._split_upwards(page_id, node, path)
+
+    def _split_upwards(
+        self, page_id: int, node: _Node, path: list[tuple[int, _Node, int]]
+    ) -> None:
+        while len(node.keys) > self.fanout:
+            mid = len(node.keys) // 2
+            sibling = _Node(leaf=node.leaf)
+            if node.leaf:
+                separator = node.keys[mid]
+                sibling.keys = node.keys[mid:]
+                sibling.values = node.values[mid:]
+                node.keys = node.keys[:mid]
+                node.values = node.values[:mid]
+            else:
+                separator = node.keys[mid]
+                sibling.keys = node.keys[mid + 1 :]
+                sibling.children = node.children[mid + 1 :]
+                node.keys = node.keys[:mid]
+                node.children = node.children[: mid + 1]
+            sibling_page = self.pager.allocate()
+            self._install(sibling_page, sibling)
+            self._mark_dirty(page_id, node)
+            self._stats.extra["splits"] += 1
+
+            if path:
+                parent_page, parent, child_index = path.pop()
+                parent.keys.insert(child_index, separator)
+                parent.children.insert(child_index + 1, sibling_page)
+                self._mark_dirty(parent_page, parent)
+                page_id, node = parent_page, parent
+            else:
+                new_root = _Node(leaf=False)
+                new_root.keys = [separator]
+                new_root.children = [page_id, sibling_page]
+                self.root_page = self.pager.allocate()
+                self._install(self.root_page, new_root)
+                return
+
+    def delete(self, key: int) -> bool:
+        self._charge_cpu()
+        self._stats.deletes += 1
+        page_id = self.root_page
+        node = self._load(page_id)
+        while not node.leaf:
+            child_index = bisect.bisect_right(node.keys, key)
+            page_id = node.children[child_index]
+            node = self._load(page_id)
+        pos = bisect.bisect_left(node.keys, key)
+        if pos < len(node.keys) and node.keys[pos] == key:
+            node.keys.pop(pos)
+            node.values.pop(pos)
+            self._mark_dirty(page_id, node)
+            return True
+        return False
+
+    def scan(self) -> Iterator[tuple[int, bytes]]:
+        yield from self._scan_node(self.root_page)
+
+    def _scan_node(self, page_id: int) -> Iterator[tuple[int, bytes]]:
+        node = self._load(page_id)
+        if node.leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for child in node.children:
+            yield from self._scan_node(child)
+
+    # ------------------------------------------------------------------
+    # checkpoint / close
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Reconcile all dirty pages and persist the page table."""
+        for page_id in list(self._dirty):
+            node = self._cache.get(page_id)
+            if node is None:
+                raise StorageError(f"dirty page {page_id} missing from cache")
+            self.pager.write(page_id, node.encode(), blocking=False)
+            self._stats.extra["page_writes"] += 1
+        self._dirty.clear()
+        if self.pager.garbage_ratio() > 0.5:
+            self.pager.compact()
+        self.pager.checkpoint(os.path.join(self.directory, _META), self.root_page)
+
+    def close(self) -> None:
+        if not self._closed:
+            self.checkpoint()
+            self.pager.close()
+            self._closed = True
+
+    def _charge_cpu(self) -> None:
+        if self.op_cpu_seconds:
+            self.clock.advance(self.op_cpu_seconds, component="cpu")

@@ -1,0 +1,22 @@
+"""Data structures shared by the storage engines."""
+
+from repro.kv.common.skiplist import SkipList
+from repro.kv.common.bloom import BloomFilter
+from repro.kv.common.cache import LRUCache, ClockCache
+from repro.kv.common.serialization import (
+    encode_record,
+    decode_record,
+    encode_vector,
+    decode_vector,
+)
+
+__all__ = [
+    "SkipList",
+    "BloomFilter",
+    "LRUCache",
+    "ClockCache",
+    "encode_record",
+    "decode_record",
+    "encode_vector",
+    "decode_vector",
+]

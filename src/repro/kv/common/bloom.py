@@ -1,0 +1,64 @@
+"""Bloom filter for SSTable point-lookup pruning.
+
+Double hashing over two independent 64-bit mixes of the key; the bit array
+is a Python ``bytearray`` so filters serialize directly into SSTable
+footers.  Never reports false negatives (property-tested).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer — a cheap, well-distributed 64-bit mix."""
+    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+class BloomFilter:
+    """Bloom filter over integer keys.
+
+    Parameters
+    ----------
+    capacity:
+        Expected number of distinct keys.
+    bits_per_key:
+        Space budget; 10 bits/key gives ≈1% false-positive rate, the
+        RocksDB default.
+    """
+
+    def __init__(self, capacity: int, bits_per_key: int = 10) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if bits_per_key <= 0:
+            raise ValueError("bits_per_key must be positive")
+        self.num_bits = max(64, capacity * bits_per_key)
+        self.num_hashes = max(1, round(bits_per_key * math.log(2)))
+        self._bits = bytearray(-(-self.num_bits // 8))
+
+    def _positions(self, key: int):
+        h1 = _mix64(key)
+        h2 = _mix64(h1) | 1
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, key: int) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+
+    def may_contain(self, key: int) -> bool:
+        return all(self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key))
+
+    def to_bytes(self) -> bytes:
+        return bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, num_bits: int, num_hashes: int) -> "BloomFilter":
+        filt = cls.__new__(cls)
+        filt.num_bits = num_bits
+        filt.num_hashes = num_hashes
+        filt._bits = bytearray(data)
+        return filt

@@ -1,0 +1,145 @@
+"""Replacement caches used by the engines and the application layer.
+
+``LRUCache`` backs the LSM block cache and the application-side embedding
+cache (PERSIA keeps a local LRU cache in front of its parameter shards;
+the paper's baselines inherit the same structure).  ``ClockCache`` backs
+the B+tree page cache, matching WiredTiger's clock-style eviction.
+Both report hit/miss counters and invoke an optional eviction callback so
+dirty pages can be written back.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional
+
+
+class LRUCache:
+    """Least-recently-used cache with a fixed entry budget."""
+
+    def __init__(
+        self,
+        capacity: int,
+        on_evict: Optional[Callable[[object, object], None]] = None,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self._on_evict = on_evict
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def get(self, key: object, default: object = None) -> object:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return default
+
+    def peek(self, key: object, default: object = None) -> object:
+        """Read without touching recency or counters."""
+        return self._entries.get(key, default)
+
+    def put(self, key: object, value: object) -> None:
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            evicted_key, evicted_value = self._entries.popitem(last=False)
+            if self._on_evict is not None:
+                self._on_evict(evicted_key, evicted_value)
+
+    def pop(self, key: object, default: object = None) -> object:
+        return self._entries.pop(key, default)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def keys(self):
+        return list(self._entries.keys())
+
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ClockCache:
+    """Second-chance (CLOCK) cache, as used for B+tree page replacement."""
+
+    def __init__(
+        self,
+        capacity: int,
+        on_evict: Optional[Callable[[object, object], None]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._values: dict = {}
+        self._referenced: dict = {}
+        self._ring: list = []
+        self._hand = 0
+        self._on_evict = on_evict
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._values
+
+    def get(self, key: object, default: object = None) -> object:
+        if key in self._values:
+            self._referenced[key] = True
+            self.hits += 1
+            return self._values[key]
+        self.misses += 1
+        return default
+
+    def put(self, key: object, value: object) -> None:
+        if key in self._values:
+            self._values[key] = value
+            self._referenced[key] = True
+            return
+        if len(self._values) >= self.capacity:
+            self._evict_one()
+        self._values[key] = value
+        self._referenced[key] = False
+        self._ring.append(key)
+
+    def _evict_one(self) -> None:
+        while True:
+            if self._hand >= len(self._ring):
+                self._hand = 0
+            key = self._ring[self._hand]
+            if key not in self._values:
+                # Lazily drop stale ring slots from earlier pops.
+                self._ring.pop(self._hand)
+                continue
+            if self._referenced.get(key, False):
+                self._referenced[key] = False
+                self._hand += 1
+                continue
+            self._ring.pop(self._hand)
+            value = self._values.pop(key)
+            self._referenced.pop(key, None)
+            if self._on_evict is not None:
+                self._on_evict(key, value)
+            return
+
+    def pop(self, key: object, default: object = None) -> object:
+        self._referenced.pop(key, None)
+        return self._values.pop(key, default)
+
+    def keys(self):
+        return list(self._values.keys())

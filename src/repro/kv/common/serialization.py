@@ -1,0 +1,57 @@
+"""Binary record and vector encodings shared by the engines.
+
+Records are length-prefixed ``(key, value)`` pairs::
+
+    [u64 key][u32 value_len][value bytes]
+
+Embedding vectors are float32 little-endian arrays with a one-byte dtype
+tag so recovery can validate dimensions.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+_RECORD_HEADER = struct.Struct("<QI")
+_VECTOR_TAG_F32 = 0x01
+
+
+def encode_record(key: int, value: bytes) -> bytes:
+    """Serialize one record for the log / SSTable / page payloads."""
+    if key < 0:
+        raise ValueError("keys must be non-negative integers")
+    return _RECORD_HEADER.pack(key, len(value)) + value
+
+
+def decode_record(buffer: bytes, offset: int = 0) -> tuple[int, bytes, int]:
+    """Decode a record at ``offset``; returns ``(key, value, next_offset)``."""
+    key, value_len = _RECORD_HEADER.unpack_from(buffer, offset)
+    start = offset + _RECORD_HEADER.size
+    end = start + value_len
+    if end > len(buffer):
+        raise ValueError("truncated record")
+    return key, bytes(buffer[start:end]), end
+
+
+def record_size(value_len: int) -> int:
+    """On-disk size of a record holding ``value_len`` value bytes."""
+    return _RECORD_HEADER.size + value_len
+
+
+def encode_vector(vector: np.ndarray) -> bytes:
+    """Serialize a float32 embedding vector."""
+    arr = np.ascontiguousarray(vector, dtype=np.float32)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D vector, got shape {arr.shape}")
+    return bytes([_VECTOR_TAG_F32]) + arr.tobytes()
+
+def decode_vector(data: bytes, dim: int | None = None) -> np.ndarray:
+    """Deserialize a vector, optionally validating its dimension."""
+    if not data or data[0] != _VECTOR_TAG_F32:
+        raise ValueError("not an encoded float32 vector")
+    arr = np.frombuffer(data, dtype=np.float32, offset=1).copy()
+    if dim is not None and arr.shape[0] != dim:
+        raise ValueError(f"expected dim {dim}, got {arr.shape[0]}")
+    return arr

@@ -1,0 +1,95 @@
+"""Epoch protection (FASTER Section 2; LightEpoch).
+
+Threads enter an epoch before touching log memory and exit afterwards.
+Structural changes (page eviction, region boundary shifts) are published
+as *drain actions* tagged with the epoch in which they were issued; an
+action runs only once every thread has advanced past that epoch, which
+guarantees no thread still holds a pointer into the reclaimed pages.
+
+Python's GIL already serializes byte-level access, but the epoch manager
+is load-bearing in this reproduction too: the hybrid log refuses to evict
+pages while any operation is inside an epoch, and the unit tests exercise
+exactly that protocol.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+
+class EpochManager:
+    """Minimal epoch-based reclamation manager."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._current = 1
+        self._thread_epochs: dict[int, int] = {}
+        self._drain_list: list[tuple[int, Callable[[], None]]] = []
+
+    @property
+    def current(self) -> int:
+        return self._current
+
+    def enter(self) -> int:
+        """Register the calling thread as active in the current epoch."""
+        ident = threading.get_ident()
+        with self._lock:
+            self._thread_epochs[ident] = self._current
+            return self._current
+
+    def exit(self) -> None:
+        """Deregister the calling thread and run any safe drain actions."""
+        ident = threading.get_ident()
+        with self._lock:
+            self._thread_epochs.pop(ident, None)
+            actions = self._collect_safe_actions()
+        for action in actions:
+            action()
+
+    def bump(self, on_drain: Callable[[], None] | None = None) -> int:
+        """Advance the epoch, optionally scheduling a drain action."""
+        with self._lock:
+            self._current += 1
+            if on_drain is not None:
+                self._drain_list.append((self._current, on_drain))
+            actions = self._collect_safe_actions()
+        for action in actions:
+            action()
+        with self._lock:
+            return self._current
+
+    def _safe_epoch(self) -> int:
+        """Largest epoch every active thread has passed."""
+        if not self._thread_epochs:
+            return self._current
+        return min(self._thread_epochs.values())
+
+    def _collect_safe_actions(self) -> list[Callable[[], None]]:
+        safe = self._safe_epoch()
+        ready = [action for epoch, action in self._drain_list if epoch <= safe]
+        self._drain_list = [(e, a) for e, a in self._drain_list if e > safe]
+        return ready
+
+    def active_threads(self) -> int:
+        with self._lock:
+            return len(self._thread_epochs)
+
+    def pending_actions(self) -> int:
+        with self._lock:
+            return len(self._drain_list)
+
+    class _Guard:
+        def __init__(self, manager: "EpochManager") -> None:
+            self._manager = manager
+
+        def __enter__(self) -> "EpochManager":
+            self._manager.enter()
+            return self._manager
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            self._manager.exit()
+
+    def guard(self) -> "EpochManager._Guard":
+        """Context manager: ``with epochs.guard(): ...``"""
+        return EpochManager._Guard(self)

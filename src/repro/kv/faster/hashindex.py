@@ -1,0 +1,96 @@
+"""Hash index mapping keys to hybrid-log addresses.
+
+FASTER's index is an array of cache-line-sized buckets holding tagged
+entries; collisions chain through overflow buckets.  This reproduction
+keeps the bucket-array organization (so load factor, resizing, and bucket
+scans behave like a real open hash table) while storing full keys in the
+entries — Python objects make the tag compression pointless.
+
+The index never stores values: it maps each key to the log address of its
+newest record, which is the invariant the store and recovery rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.kv.common.bloom import _mix64
+
+_INITIAL_BUCKETS = 64
+_ENTRIES_PER_BUCKET = 8
+_MAX_LOAD = 0.75
+
+
+class HashIndex:
+    """Bucketized hash index from int keys to log addresses."""
+
+    def __init__(self, initial_buckets: int = _INITIAL_BUCKETS) -> None:
+        if initial_buckets <= 0 or initial_buckets & (initial_buckets - 1):
+            raise ValueError("initial_buckets must be a positive power of two")
+        self._buckets: list[list[tuple[int, int]]] = [[] for _ in range(initial_buckets)]
+        self._mask = initial_buckets - 1
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _bucket_for(self, key: int) -> list[tuple[int, int]]:
+        return self._buckets[_mix64(key) & self._mask]
+
+    def find(self, key: int) -> Optional[int]:
+        """Return the log address of ``key``'s newest record, or ``None``."""
+        for entry_key, address in self._bucket_for(key):
+            if entry_key == key:
+                return address
+        return None
+
+    def upsert(self, key: int, address: int) -> None:
+        """Point ``key`` at ``address`` (insert or overwrite)."""
+        bucket = self._bucket_for(key)
+        for i, (entry_key, _) in enumerate(bucket):
+            if entry_key == key:
+                bucket[i] = (key, address)
+                return
+        bucket.append((key, address))
+        self._size += 1
+        if self._size > _MAX_LOAD * _ENTRIES_PER_BUCKET * len(self._buckets):
+            self._grow()
+
+    def compare_exchange(self, key: int, expected: Optional[int], address: int) -> bool:
+        """Install ``address`` only if the entry still holds ``expected``.
+
+        This is the index-level CAS FASTER uses to linearize concurrent
+        read-copy-update appends: the loser of the race observes a changed
+        address and retries.
+        """
+        current = self.find(key)
+        if current != expected:
+            return False
+        self.upsert(key, address)
+        return True
+
+    def remove(self, key: int) -> bool:
+        bucket = self._bucket_for(key)
+        for i, (entry_key, _) in enumerate(bucket):
+            if entry_key == key:
+                bucket.pop(i)
+                self._size -= 1
+                return True
+        return False
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        for bucket in self._buckets:
+            yield from bucket
+
+    def _grow(self) -> None:
+        old = self._buckets
+        new_count = len(old) * 2
+        self._buckets = [[] for _ in range(new_count)]
+        self._mask = new_count - 1
+        for bucket in old:
+            for key, address in bucket:
+                self._buckets[_mix64(key) & self._mask].append((key, address))
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self._buckets)

@@ -1,0 +1,335 @@
+"""The hybrid log: one logical address space spanning memory and disk.
+
+Addresses are byte offsets into an append-only log divided into fixed-size
+pages.  Three boundaries partition the space (paper Section II-B of
+FASTER, used by MLKV Section III-C)::
+
+    0 ............. head ............. read_only ............. tail
+    |  on disk      |  in-memory, read-only |  in-memory, mutable |
+
+* Appends go at ``tail``; a record never straddles a page boundary (the
+  remainder of a page is zero-padded, detected by generation 0).
+* Records at addresses ≥ ``read_only`` may be updated **in place**;
+  records below it are updated by read-copy-update (append a new copy).
+* When the in-memory window exceeds its budget, the lowest page is
+  flushed to the backing file (a background sequential write — FASTER
+  flushes asynchronously) and evicted, advancing ``head``.  Eviction is
+  deferred through the epoch manager so in-flight operations never lose
+  the page under their feet.
+* Reads below ``head`` hit the SSD (a blocking random read — this is the
+  data-stall path the paper's figures revolve around).
+
+Look-ahead prefetching (:mod:`repro.core.lookahead`) uses
+``refresh_to_tail`` to copy disk-resident records back into the mutable
+region at *sequential* (and background) cost, which is precisely how MLKV
+hides disk accesses beyond the staleness bound.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.device.ssd import SSDModel
+from repro.kv.faster.epoch import EpochManager
+from repro.kv.faster.record import (
+    RECORD_HEADER_BYTES,
+    RecordWord,
+    decode_record_header,
+    encode_record_header,
+)
+from repro.errors import StorageError
+
+#: value_len sentinel marking a tombstone record.
+TOMBSTONE_LEN = 0xFFFFFFFF
+
+
+class HybridLog:
+    """Append-only log with an in-memory tail window and a file-backed body."""
+
+    def __init__(
+        self,
+        path: str,
+        ssd: SSDModel,
+        memory_budget_bytes: int = 1 << 22,
+        page_bytes: int = 1 << 15,
+        mutable_fraction: float = 0.9,
+        epochs: Optional[EpochManager] = None,
+    ) -> None:
+        if page_bytes <= RECORD_HEADER_BYTES:
+            raise ValueError("page_bytes too small to hold a record header")
+        if memory_budget_bytes < page_bytes:
+            raise ValueError("memory budget must hold at least one page")
+        if not 0.0 < mutable_fraction <= 1.0:
+            raise ValueError("mutable_fraction must be in (0, 1]")
+        self.path = path
+        self.ssd = ssd
+        self.page_bytes = page_bytes
+        self.memory_pages = max(1, memory_budget_bytes // page_bytes)
+        self.mutable_bytes = max(page_bytes, int(memory_budget_bytes * mutable_fraction))
+        self.epochs = epochs if epochs is not None else EpochManager()
+
+        self.tail_address = 0
+        self.head_address = 0
+        self.read_only_address = 0
+
+        self._pages: dict[int, bytearray] = {0: bytearray(page_bytes)}
+        if not os.path.exists(path):
+            with open(path, "wb"):
+                pass
+        self._file = open(path, "r+b")
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # address helpers
+    # ------------------------------------------------------------------
+    def _page_no(self, address: int) -> int:
+        return address // self.page_bytes
+
+    def _page_offset(self, address: int) -> int:
+        return address % self.page_bytes
+
+    def in_memory(self, address: int) -> bool:
+        return address >= self.head_address
+
+    def in_mutable(self, address: int) -> bool:
+        return address >= self.read_only_address
+
+    def memory_bytes_used(self) -> int:
+        head_page = self._page_no(self.head_address)
+        tail_page = self._page_no(self.tail_address)
+        return (tail_page - head_page + 1) * self.page_bytes
+
+    # ------------------------------------------------------------------
+    # append path
+    # ------------------------------------------------------------------
+    def append(self, key: int, value: bytes, word: int) -> int:
+        """Append a record; returns its log address."""
+        self._check_open()
+        record_len = RECORD_HEADER_BYTES + len(value)
+        if record_len > self.page_bytes:
+            raise StorageError(
+                f"record of {record_len} bytes exceeds page size {self.page_bytes}"
+            )
+        remaining = self.page_bytes - self._page_offset(self.tail_address)
+        if record_len > remaining:
+            # Zero-pad the page remainder; padding decodes as generation 0.
+            self.tail_address += remaining
+        address = self.tail_address
+        page_no = self._page_no(address)
+        page = self._pages.get(page_no)
+        if page is None:
+            page = bytearray(self.page_bytes)
+            self._pages[page_no] = page
+        offset = self._page_offset(address)
+        header = encode_record_header(word, key, len(value) if value is not None else 0)
+        page[offset : offset + RECORD_HEADER_BYTES] = header
+        if value:
+            page[offset + RECORD_HEADER_BYTES : offset + record_len] = value
+        self.tail_address += record_len
+        self._advance_regions()
+        return address
+
+    def append_tombstone(self, key: int, word: int) -> int:
+        """Append a deletion marker for ``key``."""
+        self._check_open()
+        record_len = RECORD_HEADER_BYTES
+        remaining = self.page_bytes - self._page_offset(self.tail_address)
+        if record_len > remaining:
+            self.tail_address += remaining
+        address = self.tail_address
+        page_no = self._page_no(address)
+        page = self._pages.setdefault(page_no, bytearray(self.page_bytes))
+        offset = self._page_offset(address)
+        page[offset : offset + RECORD_HEADER_BYTES] = encode_record_header(
+            word, key, TOMBSTONE_LEN
+        )
+        self.tail_address += record_len
+        self._advance_regions()
+        return address
+
+    def _advance_regions(self) -> None:
+        new_read_only = max(0, self.tail_address - self.mutable_bytes)
+        if new_read_only > self.read_only_address:
+            self.read_only_address = new_read_only
+        head_page = self._page_no(self.head_address)
+        tail_page = self._page_no(self.tail_address)
+        while (tail_page - head_page + 1) > self.memory_pages:
+            self._flush_and_evict(head_page)
+            head_page += 1
+        if self.read_only_address < self.head_address:
+            self.read_only_address = self.head_address
+
+    def _flush_and_evict(self, page_no: int) -> None:
+        page = self._pages.get(page_no)
+        if page is not None:
+            self._file.seek(page_no * self.page_bytes)
+            self._file.write(page)
+            # FASTER flushes closed pages asynchronously; the write cost is
+            # hidden behind foreground work unless the device saturates.
+            self.ssd.sequential_write(self.page_bytes, blocking=False)
+            evicted = page_no
+
+            def _drop(page_index: int = evicted) -> None:
+                self._pages.pop(page_index, None)
+
+            self.epochs.bump(on_drain=_drop)
+        self.head_address = (page_no + 1) * self.page_bytes
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def read_record(self, address: int) -> tuple[int, int, Optional[bytes], bool]:
+        """Read the record at ``address``.
+
+        Returns ``(word, key, value, from_memory)``; ``value`` is ``None``
+        for tombstones.  Disk reads charge a blocking random read sized to
+        the whole record.
+        """
+        self._check_open()
+        if address >= self.tail_address:
+            raise StorageError(f"address {address} beyond tail {self.tail_address}")
+        page_no = self._page_no(address)
+        offset = self._page_offset(address)
+        if self.in_memory(address):
+            page = self._pages.get(page_no)
+            if page is None:
+                raise StorageError(f"in-memory page {page_no} missing")
+            word, key, value_len = decode_record_header(page, offset)
+            if value_len == TOMBSTONE_LEN:
+                return word, key, None, True
+            start = offset + RECORD_HEADER_BYTES
+            return word, key, bytes(page[start : start + value_len]), True
+        return self._read_from_disk(address, blocking=True)
+
+    def _read_from_disk(self, address: int, blocking: bool) -> tuple[int, int, Optional[bytes], bool]:
+        self._file.flush()
+        self._file.seek(address)
+        header = self._file.read(RECORD_HEADER_BYTES)
+        if len(header) < RECORD_HEADER_BYTES:
+            raise StorageError(f"log truncated at address {address}")
+        word, key, value_len = decode_record_header(header)
+        if value_len == TOMBSTONE_LEN:
+            self.ssd.random_read(RECORD_HEADER_BYTES, blocking=blocking)
+            return word, key, None, False
+        value = self._file.read(value_len)
+        if len(value) < value_len:
+            raise StorageError(f"log truncated reading value at {address}")
+        self.ssd.random_read(RECORD_HEADER_BYTES + value_len, blocking=blocking)
+        return word, key, value, False
+
+    def record_word(self, address: int) -> RecordWord:
+        """Atomic latch-word handle for an in-memory record."""
+        if not self.in_memory(address):
+            raise StorageError("record word only addressable for in-memory records")
+        page = self._pages.get(self._page_no(address))
+        if page is None:
+            raise StorageError("page evicted")
+        return RecordWord(page, self._page_offset(address))
+
+    def write_value_in_place(self, address: int, value: bytes) -> None:
+        """Overwrite the value bytes of a mutable-region record (same length)."""
+        if not self.in_mutable(address):
+            raise StorageError("in-place update outside the mutable region")
+        page = self._pages[self._page_no(address)]
+        offset = self._page_offset(address)
+        _, _, value_len = decode_record_header(page, offset)
+        if value_len != len(value):
+            raise StorageError("in-place update must preserve value length")
+        start = offset + RECORD_HEADER_BYTES
+        page[start : start + value_len] = value
+
+    # ------------------------------------------------------------------
+    # prefetch support
+    # ------------------------------------------------------------------
+    def prefetch_read(self, address: int, charge: bool = True) -> tuple[int, int, Optional[bytes]]:
+        """Read a disk-resident record for prefetch staging.
+
+        With ``charge=False`` the caller takes responsibility for device
+        accounting — MLKV's lookahead batches many records into one
+        page-granular sequential scan (:meth:`charge_prefetch_pages`), so
+        the device serves them at bandwidth rather than per-I/O latency.
+        """
+        self._file.flush()
+        self._file.seek(address)
+        header = self._file.read(RECORD_HEADER_BYTES)
+        if len(header) < RECORD_HEADER_BYTES:
+            raise StorageError(f"log truncated at address {address}")
+        word, key, value_len = decode_record_header(header)
+        if value_len == TOMBSTONE_LEN:
+            if charge:
+                self.ssd.sequential_read(RECORD_HEADER_BYTES, blocking=False)
+            return word, key, None
+        value = self._file.read(value_len)
+        if charge:
+            self.ssd.sequential_read(RECORD_HEADER_BYTES + value_len, blocking=False)
+        return word, key, value
+
+    def charge_prefetch_pages(self, addresses) -> int:
+        """Charge one overlapped sequential scan covering ``addresses``.
+
+        The lookahead engine sorts its batch by log address and issues one
+        bandwidth-bound scan over the needed 4 KiB blocks; each distinct
+        block is paid once.  This is the whole economy of look-ahead
+        staging versus per-record random reads through the Get API.
+        Returns the number of distinct blocks charged.
+        """
+        from repro.device.ssd import PAGE_BYTES
+
+        blocks = {address // PAGE_BYTES for address in addresses}
+        if blocks:
+            self.ssd.sequential_read(len(blocks) * PAGE_BYTES, blocking=False)
+        return len(blocks)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def flush_all(self, blocking: bool = True) -> None:
+        """Write every in-memory page to the backing file (checkpoint path)."""
+        self._check_open()
+        for page_no in sorted(self._pages):
+            page = self._pages[page_no]
+            self._file.seek(page_no * self.page_bytes)
+            self._file.write(page)
+            self.ssd.sequential_write(self.page_bytes, blocking=blocking)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def scan_addresses(self):
+        """Yield ``(address, word, key, value_len)`` for every record.
+
+        Used by recovery to rebuild the hash index; padding (generation 0)
+        skips to the next page boundary.
+        """
+        self.flush_all(blocking=False)
+        address = 0
+        with open(self.path, "rb") as f:
+            while address < self.tail_address:
+                remaining = self.page_bytes - self._page_offset(address)
+                if remaining < RECORD_HEADER_BYTES:
+                    address += remaining
+                    continue
+                f.seek(address)
+                header = f.read(RECORD_HEADER_BYTES)
+                if len(header) < RECORD_HEADER_BYTES:
+                    return
+                word, key, value_len = decode_record_header(header)
+                generation = (word >> 32) & ((1 << 30) - 1)
+                if generation == 0:
+                    address += remaining
+                    continue
+                yield address, word, key, value_len
+                if value_len == TOMBSTONE_LEN:
+                    address += RECORD_HEADER_BYTES
+                else:
+                    address += RECORD_HEADER_BYTES + value_len
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.flush()
+            self._file.close()
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("log is closed")

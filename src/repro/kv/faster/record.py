@@ -1,0 +1,120 @@
+"""Record layout and the 64-bit latch word (paper Figure 5a).
+
+Every record begins with a single 64-bit word packed as::
+
+    [ locked : 1 ][ replaced : 1 ][ generation : 30 ][ staleness : 32 ]
+
+FASTER itself uses ``locked`` as a record-level latch, ``replaced`` to
+signal that the record's memory address has been superseded by a newer
+copy, and ``generation`` to detect stale reads.  MLKV implements its
+latch-free vector clocks by *stealing the unused low 32 bits* for a
+per-record staleness counter — a Get increments it, a Put decrements it,
+and a Get admission spins until it is below the staleness bound.
+
+Python has no hardware CAS on bytearrays; :class:`RecordWord` provides the
+same primitive semantics (``compare_and_swap``, ``fetch_and_sub``-style
+transitions) with a lock striped per word, which is faithful at the level
+the paper's protocol needs: each transition is atomic, and contenders
+observe either the old or the new word.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+
+_WORD = struct.Struct("<Q")
+_KEYLEN = struct.Struct("<QI")
+
+#: word, key, value-length — prefix of every log record.
+RECORD_HEADER_BYTES = _WORD.size + _KEYLEN.size
+
+_LOCKED_BIT = 1 << 63
+_REPLACED_BIT = 1 << 62
+_GENERATION_SHIFT = 32
+_GENERATION_MASK = (1 << 30) - 1
+_STALENESS_MASK = (1 << 32) - 1
+
+#: Generation value 0 is reserved for log padding; live records start at 1.
+FIRST_GENERATION = 1
+
+
+def pack_word(locked: bool, replaced: bool, generation: int, staleness: int) -> int:
+    """Assemble a 64-bit latch word from its fields."""
+    if not 0 <= generation <= _GENERATION_MASK:
+        raise ValueError(f"generation out of range: {generation}")
+    if not 0 <= staleness <= _STALENESS_MASK:
+        raise ValueError(f"staleness out of range: {staleness}")
+    word = (generation << _GENERATION_SHIFT) | staleness
+    if locked:
+        word |= _LOCKED_BIT
+    if replaced:
+        word |= _REPLACED_BIT
+    return word
+
+
+def unpack_word(word: int) -> tuple[bool, bool, int, int]:
+    """Split a latch word into ``(locked, replaced, generation, staleness)``."""
+    return (
+        bool(word & _LOCKED_BIT),
+        bool(word & _REPLACED_BIT),
+        (word >> _GENERATION_SHIFT) & _GENERATION_MASK,
+        word & _STALENESS_MASK,
+    )
+
+
+def next_generation(generation: int) -> int:
+    """Increment a 30-bit generation, wrapping past the padding value 0."""
+    nxt = (generation + 1) & _GENERATION_MASK
+    return nxt if nxt != 0 else FIRST_GENERATION
+
+
+class RecordWord:
+    """Atomic view of one record's latch word inside a log page.
+
+    The word physically lives in the page ``bytearray`` at ``offset``;
+    all transitions re-read and re-write it under a stripe lock, which
+    emulates a hardware compare-and-swap.
+    """
+
+    _STRIPES = [threading.Lock() for _ in range(64)]
+
+    def __init__(self, page: bytearray, offset: int) -> None:
+        self._page = page
+        self._offset = offset
+        self._lock = self._STRIPES[(id(page) ^ offset) % len(self._STRIPES)]
+
+    def load(self) -> int:
+        return _WORD.unpack_from(self._page, self._offset)[0]
+
+    def store(self, word: int) -> None:
+        _WORD.pack_into(self._page, self._offset, word)
+
+    def compare_and_swap(self, expected: int, desired: int) -> bool:
+        """Atomically replace ``expected`` with ``desired``; False on race."""
+        with self._lock:
+            if self.load() != expected:
+                return False
+            self.store(desired)
+            return True
+
+    def fields(self) -> tuple[bool, bool, int, int]:
+        return unpack_word(self.load())
+
+    def set_replaced(self) -> None:
+        """Mark this copy superseded and bump the generation (release step)."""
+        with self._lock:
+            locked, _, generation, staleness = unpack_word(self.load())
+            self.store(pack_word(locked, True, next_generation(generation), staleness))
+
+
+def encode_record_header(word: int, key: int, value_len: int) -> bytes:
+    """Serialize the fixed header ``[word][key][value_len]``."""
+    return _WORD.pack(word) + _KEYLEN.pack(key, value_len)
+
+
+def decode_record_header(buffer, offset: int = 0) -> tuple[int, int, int]:
+    """Decode the fixed header; returns ``(word, key, value_len)``."""
+    word = _WORD.unpack_from(buffer, offset)[0]
+    key, value_len = _KEYLEN.unpack_from(buffer, offset + _WORD.size)
+    return word, key, value_len

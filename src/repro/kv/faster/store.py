@@ -1,0 +1,289 @@
+"""FASTER-like key-value store over the hybrid log.
+
+Operation lifecycle (FASTER §3, used as-is by MLKV):
+
+* ``get`` — index lookup, then a log read.  In-memory reads are free of
+  I/O; reads below ``head`` pay a blocking random SSD read (the data
+  stall of paper Figure 2).
+* ``put`` — if the newest copy lives in the mutable region and the value
+  length is unchanged, update **in place**; otherwise append a new copy
+  (read-copy-update), CAS the index to it, and mark the old in-memory
+  copy ``replaced`` so racing readers retry.
+* ``rmw`` — fused read-modify-write with the same in-place fast path.
+* ``checkpoint`` / :meth:`FasterKV.recover` — flush the log, persist the
+  index and boundaries, and rebuild by scanning the log if the index
+  snapshot is missing (fuzzy-checkpoint fallback).
+
+A small per-operation CPU cost is charged to the simulated clock; this is
+the "index traversal overhead" that makes MLKV-backed training a few
+percent slower than the specialized in-memory frameworks in Figure 6.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from typing import Callable, Iterator, Optional
+
+from repro.device.clock import SimClock
+from repro.device.ssd import SSDModel
+from repro.errors import CheckpointError, StorageError
+from repro.kv.api import KVStore, StoreStats
+from repro.kv.faster.epoch import EpochManager
+from repro.kv.faster.hashindex import HashIndex
+from repro.kv.faster.hybridlog import TOMBSTONE_LEN, HybridLog
+from repro.kv.faster.record import (
+    FIRST_GENERATION,
+    next_generation,
+    pack_word,
+    unpack_word,
+)
+
+#: CPU cost of one store operation (hash probe + log access bookkeeping).
+DEFAULT_OP_CPU_SECONDS = 0.9e-6
+
+_META_FILE = "faster.meta.json"
+_INDEX_FILE = "faster.index.bin"
+_LOG_FILE = "faster.log"
+
+
+class FasterKV(KVStore):
+    """Single-node FASTER-style store with a file-backed hybrid log.
+
+    Parameters
+    ----------
+    directory:
+        Workspace for the log and checkpoint files (created if missing).
+    ssd:
+        Shared SSD cost model; a private one (with a private clock) is
+        created when omitted, which is convenient for tests.
+    memory_budget_bytes:
+        Size of the in-memory log window — the "buffer size" axis of
+        Figures 7, 9 and 10.
+    page_bytes:
+        Log page size.
+    mutable_fraction:
+        Fraction of the in-memory window that allows in-place updates.
+    op_cpu_seconds:
+        Simulated CPU cost charged per operation.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        ssd: Optional[SSDModel] = None,
+        memory_budget_bytes: int = 1 << 22,
+        page_bytes: int = 1 << 15,
+        mutable_fraction: float = 0.9,
+        op_cpu_seconds: float = DEFAULT_OP_CPU_SECONDS,
+    ) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        if ssd is None:
+            ssd = SSDModel(SimClock())
+        self.ssd = ssd
+        self.clock = ssd.clock
+        self.epochs = EpochManager()
+        self.log = HybridLog(
+            os.path.join(directory, _LOG_FILE),
+            ssd,
+            memory_budget_bytes=memory_budget_bytes,
+            page_bytes=page_bytes,
+            mutable_fraction=mutable_fraction,
+            epochs=self.epochs,
+        )
+        self.index = HashIndex()
+        self.op_cpu_seconds = op_cpu_seconds
+        self._stats = StoreStats()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # KVStore interface
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> StoreStats:
+        return self._stats
+
+    def get(self, key: int) -> Optional[bytes]:
+        self._charge_cpu()
+        self._stats.gets += 1
+        with self.epochs.guard():
+            address = self.index.find(key)
+            if address is None:
+                self._stats.misses += 1
+                return None
+            _, record_key, value, from_memory = self.log.read_record(address)
+            if record_key != key:
+                raise StorageError(f"index corruption: wanted {key}, found {record_key}")
+            if from_memory:
+                self._stats.hits += 1
+            else:
+                self._stats.misses += 1
+            return value
+
+    def put(self, key: int, value: bytes) -> None:
+        self._charge_cpu()
+        self._stats.puts += 1
+        with self.epochs.guard():
+            self._upsert(key, value)
+
+    def _upsert(self, key: int, value: bytes) -> int:
+        """Insert/overwrite and return the (possibly unchanged) address."""
+        address = self.index.find(key)
+        if address is not None and self.log.in_mutable(address):
+            word_handle = self.log.record_word(address)
+            word = word_handle.load()
+            _, _, generation, staleness = unpack_word(word)
+            try:
+                self.log.write_value_in_place(address, value)
+            except StorageError:
+                return self._append_new(key, value, generation, staleness, address)
+            word_handle.store(pack_word(False, False, next_generation(generation), staleness))
+            return address
+        generation, staleness = FIRST_GENERATION, 0
+        if address is not None and self.log.in_memory(address):
+            old_word = self.log.record_word(address).load()
+            _, _, generation, staleness = unpack_word(old_word)
+        return self._append_new(key, value, generation, staleness, address)
+
+    def _append_new(
+        self,
+        key: int,
+        value: bytes,
+        generation: int,
+        staleness: int,
+        old_address: Optional[int],
+    ) -> int:
+        word = pack_word(False, False, next_generation(generation), staleness)
+        new_address = self.log.append(key, value, word)
+        self.index.upsert(key, new_address)
+        if old_address is not None and self.log.in_memory(old_address):
+            self.log.record_word(old_address).set_replaced()
+        return new_address
+
+    def rmw(self, key: int, update: Callable[[Optional[bytes]], bytes]) -> bytes:
+        self._charge_cpu()
+        self._stats.gets += 1
+        self._stats.puts += 1
+        with self.epochs.guard():
+            address = self.index.find(key)
+            current: Optional[bytes] = None
+            if address is not None:
+                _, _, current, from_memory = self.log.read_record(address)
+                if from_memory:
+                    self._stats.hits += 1
+                else:
+                    self._stats.misses += 1
+            else:
+                self._stats.misses += 1
+            new_value = update(current)
+            self._upsert(key, new_value)
+            return new_value
+
+    def delete(self, key: int) -> bool:
+        self._charge_cpu()
+        self._stats.deletes += 1
+        with self.epochs.guard():
+            address = self.index.find(key)
+            if address is None:
+                return False
+            word = pack_word(False, False, FIRST_GENERATION, 0)
+            self.log.append_tombstone(key, word)
+            self.index.remove(key)
+            return True
+
+    def scan(self) -> Iterator[tuple[int, bytes]]:
+        with self.epochs.guard():
+            for key, address in list(self.index.items()):
+                _, _, value, _ = self.log.read_record(address)
+                if value is not None:
+                    yield key, value
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def close(self) -> None:
+        if not self._closed:
+            self.log.close()
+            self._closed = True
+
+    # ------------------------------------------------------------------
+    # checkpoint / recovery
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Persist log + index so :meth:`recover` can rebuild the store."""
+        self.log.flush_all()
+        entries = list(self.index.items())
+        packer = struct.Struct("<QQ")
+        with open(os.path.join(self.directory, _INDEX_FILE), "wb") as f:
+            f.write(struct.pack("<Q", len(entries)))
+            for key, address in entries:
+                f.write(packer.pack(key, address))
+        self.ssd.sequential_write(8 + 16 * len(entries), blocking=True)
+        meta = {
+            "tail_address": self.log.tail_address,
+            "head_address": self.log.head_address,
+            "read_only_address": self.log.read_only_address,
+            "page_bytes": self.log.page_bytes,
+        }
+        tmp = os.path.join(self.directory, _META_FILE + ".tmp")
+        with open(tmp, "w") as f:
+            json.dump(meta, f)
+        os.replace(tmp, os.path.join(self.directory, _META_FILE))
+
+    @classmethod
+    def recover(
+        cls,
+        directory: str,
+        ssd: Optional[SSDModel] = None,
+        memory_budget_bytes: int = 1 << 22,
+        page_bytes: int = 1 << 15,
+        mutable_fraction: float = 0.9,
+    ) -> "FasterKV":
+        """Rebuild a store from its checkpoint files."""
+        meta_path = os.path.join(directory, _META_FILE)
+        if not os.path.exists(meta_path):
+            raise CheckpointError(f"no checkpoint metadata in {directory}")
+        with open(meta_path) as f:
+            meta = json.load(f)
+        store = cls(
+            directory,
+            ssd=ssd,
+            memory_budget_bytes=memory_budget_bytes,
+            page_bytes=meta["page_bytes"],
+            mutable_fraction=mutable_fraction,
+        )
+        store.log.tail_address = meta["tail_address"]
+        # After recovery the whole log body lives on disk; reads fault in.
+        # New appends start on a fresh page so recovered bytes stay valid.
+        if store.log.tail_address % store.log.page_bytes:
+            store.log.tail_address += store.log.page_bytes - (
+                store.log.tail_address % store.log.page_bytes
+            )
+        store.log.head_address = store.log.tail_address
+        store.log.read_only_address = store.log.tail_address
+        page_no = store.log.tail_address // store.log.page_bytes
+        store.log._pages = {page_no: bytearray(store.log.page_bytes)}
+        index_path = os.path.join(directory, _INDEX_FILE)
+        if os.path.exists(index_path):
+            packer = struct.Struct("<QQ")
+            with open(index_path, "rb") as f:
+                (count,) = struct.unpack("<Q", f.read(8))
+                store.ssd.sequential_read(8 + 16 * count, blocking=True)
+                for _ in range(count):
+                    key, address = packer.unpack(f.read(16))
+                    store.index.upsert(key, address)
+        else:
+            # Fuzzy fallback: rebuild the index by scanning the log.
+            for address, _, key, value_len in store.log.scan_addresses():
+                if value_len == TOMBSTONE_LEN:
+                    store.index.remove(key)
+                else:
+                    store.index.upsert(key, address)
+        return store
+
+    # ------------------------------------------------------------------
+    def _charge_cpu(self) -> None:
+        if self.op_cpu_seconds:
+            self.clock.advance(self.op_cpu_seconds, component="cpu")

@@ -1,0 +1,20 @@
+"""LSM-tree key-value store (stands in for RocksDB).
+
+Write path: WAL append → memtable (skiplist) → flush to an L0 sorted run
+when full.  Background leveled compaction merges L0 runs down the level
+hierarchy.  Read path: memtable → immutable memtable → L0 runs newest
+first → deeper levels, with bloom filters pruning runs and an LRU block
+cache absorbing repeated block reads.
+
+This reproduces the structural reason RocksDB-backed embedding training
+loses in Figure 7: point reads on a cold working set touch several runs
+(read amplification) and compaction consumes write bandwidth that
+competes with training I/O.
+"""
+
+from repro.kv.lsm.memtable import MemTable
+from repro.kv.lsm.sstable import SSTable, TOMBSTONE
+from repro.kv.lsm.wal import WriteAheadLog
+from repro.kv.lsm.store import LsmKV
+
+__all__ = ["MemTable", "SSTable", "TOMBSTONE", "WriteAheadLog", "LsmKV"]

@@ -1,0 +1,85 @@
+"""Leveled compaction for the LSM store.
+
+The layout is one run per level below L0 (a "fully-compacted leveled"
+scheme): when L0 accumulates ``l0_trigger`` runs they are merged together
+with L1 into a new L1 run; when a level's run outgrows its size budget
+(``growth_factor`` × the budget of the level above) it is merged into the
+next level down.  Newest-wins merging drops shadowed versions, and
+tombstones are dropped once they reach the last populated level.
+
+This keeps RocksDB's essential cost behaviour — every byte is rewritten
+roughly once per level it descends through (write amplification), and a
+cold point read may probe several runs (read amplification) — without the
+scheduling machinery a production engine needs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Optional
+
+from repro.kv.lsm.sstable import SSTable
+
+
+def merge_runs(
+    runs: list[SSTable],
+    ssd,
+    drop_tombstones: bool,
+) -> Iterator[tuple[int, Optional[bytes]]]:
+    """Merge sorted runs, newest first in ``runs``; newest version wins.
+
+    ``runs[0]`` is the newest.  Entries are yielded in ascending key
+    order; tombstones are retained unless ``drop_tombstones`` (i.e. the
+    output is the bottom level).
+    """
+    iterators = [run.iterate(ssd) for run in runs]
+    # Heap entries: (key, age, value); age breaks ties so the newest
+    # version of a key surfaces first.
+    heap: list[tuple[int, int, Optional[bytes]]] = []
+    streams = []
+    for age, it in enumerate(iterators):
+        entry = next(it, None)
+        streams.append(it)
+        if entry is not None:
+            heapq.heappush(heap, (entry[0], age, entry[1]))
+
+    last_key: Optional[int] = None
+    while heap:
+        key, age, value = heapq.heappop(heap)
+        nxt = next(streams[age], None)
+        if nxt is not None:
+            heapq.heappush(heap, (nxt[0], age, nxt[1]))
+        if key == last_key:
+            continue  # older version of an already-emitted key
+        last_key = key
+        if value is None and drop_tombstones:
+            continue
+        yield key, value
+
+
+class LeveledPolicy:
+    """Decides when to flush/compact and how big each level may grow."""
+
+    def __init__(
+        self,
+        l0_trigger: int = 4,
+        growth_factor: int = 10,
+        base_level_bytes: int = 4 << 20,
+    ) -> None:
+        if l0_trigger < 1:
+            raise ValueError("l0_trigger must be at least 1")
+        if growth_factor < 2:
+            raise ValueError("growth_factor must be at least 2")
+        self.l0_trigger = l0_trigger
+        self.growth_factor = growth_factor
+        self.base_level_bytes = base_level_bytes
+
+    def level_budget(self, level: int) -> int:
+        """Maximum bytes for the run at ``level`` (1-based below L0)."""
+        return self.base_level_bytes * (self.growth_factor ** (level - 1))
+
+    def needs_l0_compaction(self, l0_run_count: int) -> bool:
+        return l0_run_count >= self.l0_trigger
+
+    def needs_level_compaction(self, level: int, run_bytes: int) -> bool:
+        return run_bytes > self.level_budget(level)

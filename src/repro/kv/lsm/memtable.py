@@ -1,0 +1,49 @@
+"""In-memory write buffer: a skiplist with byte accounting."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.kv.common.skiplist import SkipList
+from repro.kv.common.serialization import record_size
+
+#: Marker object stored for deleted keys until the tombstone reaches disk.
+_DELETED = object()
+
+
+class MemTable:
+    """Sorted write buffer flushed to an SSTable when ``approximate_bytes``
+    exceeds the configured budget."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._table = SkipList(seed=0x5EED ^ seed)
+        self.approximate_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def put(self, key: int, value: bytes) -> None:
+        previous = self._table.get(key)
+        if previous is None or previous is _DELETED:
+            self.approximate_bytes += record_size(len(value))
+        else:
+            self.approximate_bytes += len(value) - len(previous)
+        self._table.insert(key, value)
+
+    def delete(self, key: int) -> None:
+        self._table.insert(key, _DELETED)
+        self.approximate_bytes += record_size(0)
+
+    def get(self, key: int) -> tuple[bool, Optional[bytes]]:
+        """Returns ``(found, value)``; a found tombstone yields ``(True, None)``."""
+        value = self._table.get(key)
+        if value is None:
+            return False, None
+        if value is _DELETED:
+            return True, None
+        return True, value
+
+    def items(self) -> Iterator[tuple[int, Optional[bytes]]]:
+        """Sorted entries; deletions surface as ``(key, None)``."""
+        for key, value in self._table.items():
+            yield key, (None if value is _DELETED else value)

@@ -1,0 +1,267 @@
+"""The LSM key-value store assembled from WAL, memtable, runs, compaction.
+
+The memory budget is split between the memtable (write buffer) and the
+block cache (read buffer), mirroring RocksDB's ``write_buffer_size`` +
+``block_cache`` arrangement.  All flush/compaction I/O is charged as
+background sequential transfers; point-read block misses are blocking
+random reads — the same asymmetry that shapes Figure 7.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Iterator, Optional
+
+from repro.device.clock import SimClock
+from repro.device.ssd import SSDModel
+from repro.errors import StorageError
+from repro.kv.api import KVStore, StoreStats
+from repro.kv.common.cache import LRUCache
+from repro.kv.lsm.compaction import LeveledPolicy, merge_runs
+from repro.kv.lsm.memtable import MemTable
+from repro.kv.lsm.sstable import DEFAULT_BLOCK_BYTES, SSTable
+from repro.kv.lsm.wal import WriteAheadLog
+
+DEFAULT_OP_CPU_SECONDS = 1.1e-6
+
+_MANIFEST = "lsm.manifest.json"
+
+
+class LsmKV(KVStore):
+    """Leveled LSM-tree store (RocksDB stand-in).
+
+    Parameters
+    ----------
+    directory:
+        Workspace for WAL, runs and the manifest.
+    ssd:
+        Shared SSD cost model (private one created when omitted).
+    memory_budget_bytes:
+        Total memory; 25% memtable, 75% block cache (RocksDB-ish split
+        for read-mostly workloads).
+    block_bytes:
+        SSTable block size.
+    op_cpu_seconds:
+        Simulated CPU per operation (slightly above FASTER's: the read
+        path probes multiple runs).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        ssd: Optional[SSDModel] = None,
+        memory_budget_bytes: int = 1 << 22,
+        block_bytes: int = DEFAULT_BLOCK_BYTES,
+        policy: Optional[LeveledPolicy] = None,
+        op_cpu_seconds: float = DEFAULT_OP_CPU_SECONDS,
+    ) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        if ssd is None:
+            ssd = SSDModel(SimClock())
+        self.ssd = ssd
+        self.clock = ssd.clock
+        self.block_bytes = block_bytes
+        self.memtable_budget = max(4 << 10, memory_budget_bytes // 4)
+        cache_entries = max(8, (memory_budget_bytes - self.memtable_budget) // block_bytes)
+        self.block_cache = LRUCache(cache_entries)
+        self.policy = policy or LeveledPolicy(base_level_bytes=4 * self.memtable_budget)
+        self.op_cpu_seconds = op_cpu_seconds
+
+        self.wal = WriteAheadLog(os.path.join(directory, "lsm.wal"), ssd)
+        self.memtable = MemTable()
+        self.l0_runs: list[SSTable] = []  # newest first
+        self.levels: dict[int, SSTable] = {}  # level -> single run
+        self._next_file_id = 0
+        self._stats = StoreStats(extra={"flushes": 0, "compactions": 0})
+        self._closed = False
+        self._maybe_recover()
+
+    # ------------------------------------------------------------------
+    # KVStore interface
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> StoreStats:
+        return self._stats
+
+    def put(self, key: int, value: bytes) -> None:
+        self._charge_cpu()
+        self._stats.puts += 1
+        self.wal.append_put(key, value)
+        self.memtable.put(key, value)
+        self._maybe_flush()
+
+    def delete(self, key: int) -> bool:
+        self._charge_cpu()
+        self._stats.deletes += 1
+        existed = self.get(key) is not None
+        self.wal.append_delete(key)
+        self.memtable.delete(key)
+        self._maybe_flush()
+        return existed
+
+    def get(self, key: int) -> Optional[bytes]:
+        self._charge_cpu()
+        self._stats.gets += 1
+        found, value = self.memtable.get(key)
+        if found:
+            self._stats.hits += 1
+            return value
+        for run in self.l0_runs:
+            found, value = self._search_run(run, key)
+            if found:
+                return value
+        for level in sorted(self.levels):
+            found, value = self._search_run(self.levels[level], key)
+            if found:
+                return value
+        self._stats.misses += 1
+        return None
+
+    def _search_run(self, run: SSTable, key: int) -> tuple[bool, Optional[bytes]]:
+        if not run.may_contain(key):
+            return False, None
+        block_no = run.block_for(key)
+        if block_no is None:
+            return False, None
+        cache_key = (run.path, block_no)
+        block = self.block_cache.get(cache_key)
+        if block is None:
+            block = run.read_block(block_no, self.ssd, blocking=True)
+            self.block_cache.put(cache_key, block)
+            self._stats.misses += 1
+        else:
+            self._stats.hits += 1
+        return SSTable.search_block(block, key)
+
+    def scan(self) -> Iterator[tuple[int, bytes]]:
+        runs = self.l0_runs + [self.levels[lv] for lv in sorted(self.levels)]
+        merged = merge_runs(runs, self.ssd, drop_tombstones=False) if runs else iter(())
+        # Overlay the memtable (newest data) over the merged runs.
+        mem = dict(self.memtable.items())
+        emitted = set()
+        for key, value in merged:
+            if key in mem:
+                continue
+            emitted.add(key)
+            if value is not None:
+                yield key, value
+        for key, value in sorted(mem.items()):
+            if value is not None:
+                yield key, value
+
+    def close(self) -> None:
+        if not self._closed:
+            self.flush()
+            self._write_manifest()
+            self.wal.close()
+            self._closed = True
+
+    # ------------------------------------------------------------------
+    # flush & compaction
+    # ------------------------------------------------------------------
+    def _maybe_flush(self) -> None:
+        if self.memtable.approximate_bytes >= self.memtable_budget:
+            self.flush()
+
+    def flush(self) -> None:
+        """Flush the memtable to a new L0 run and truncate the WAL."""
+        if len(self.memtable) == 0:
+            return
+        run = SSTable.build(
+            self._new_run_path(),
+            self.memtable.items(),
+            self.ssd,
+            block_bytes=self.block_bytes,
+        )
+        if run is not None:
+            self.l0_runs.insert(0, run)
+            self._stats.extra["flushes"] += 1
+        self.memtable = MemTable(seed=self._next_file_id)
+        self.wal.truncate()
+        if self.policy.needs_l0_compaction(len(self.l0_runs)):
+            self._compact_l0()
+        self._write_manifest()
+
+    def _compact_l0(self) -> None:
+        inputs = list(self.l0_runs)
+        if 1 in self.levels:
+            inputs.append(self.levels[1])
+        bottom = not any(level > 1 for level in self.levels)
+        merged = merge_runs(inputs, self.ssd, drop_tombstones=bottom)
+        new_run = SSTable.build(
+            self._new_run_path(), merged, self.ssd, block_bytes=self.block_bytes
+        )
+        for run in inputs:
+            run.remove_files()
+        self.l0_runs = []
+        if new_run is not None:
+            self.levels[1] = new_run
+        else:
+            self.levels.pop(1, None)
+        self._stats.extra["compactions"] += 1
+        self._cascade(1)
+
+    def _cascade(self, level: int) -> None:
+        run = self.levels.get(level)
+        if run is None or not self.policy.needs_level_compaction(level, run.data_bytes):
+            return
+        inputs = [run]
+        if level + 1 in self.levels:
+            inputs.append(self.levels[level + 1])
+        bottom = not any(lv > level + 1 for lv in self.levels)
+        merged = merge_runs(inputs, self.ssd, drop_tombstones=bottom)
+        new_run = SSTable.build(
+            self._new_run_path(), merged, self.ssd, block_bytes=self.block_bytes
+        )
+        for old in inputs:
+            old.remove_files()
+        self.levels.pop(level, None)
+        if new_run is not None:
+            self.levels[level + 1] = new_run
+        else:
+            self.levels.pop(level + 1, None)
+        self._stats.extra["compactions"] += 1
+        self._cascade(level + 1)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def _new_run_path(self) -> str:
+        self._next_file_id += 1
+        return os.path.join(self.directory, f"sst_{self._next_file_id:06d}.data")
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "next_file_id": self._next_file_id,
+            "l0": [run.path for run in self.l0_runs],
+            "levels": {str(lv): run.path for lv, run in self.levels.items()},
+        }
+        tmp = os.path.join(self.directory, _MANIFEST + ".tmp")
+        with open(tmp, "w") as f:
+            json.dump(manifest, f)
+        os.replace(tmp, os.path.join(self.directory, _MANIFEST))
+
+    def _maybe_recover(self) -> None:
+        manifest_path = os.path.join(self.directory, _MANIFEST)
+        if os.path.exists(manifest_path):
+            with open(manifest_path) as f:
+                manifest = json.load(f)
+            self._next_file_id = manifest["next_file_id"]
+            self.l0_runs = [SSTable.open(path) for path in manifest["l0"]]
+            self.levels = {
+                int(lv): SSTable.open(path) for lv, path in manifest["levels"].items()
+            }
+        # Replay any WAL entries that never reached an SSTable.
+        wal_path = os.path.join(self.directory, "lsm.wal")
+        if os.path.exists(wal_path) and os.path.getsize(wal_path) > 0:
+            for key, value in self.wal.replay():
+                if value is None:
+                    self.memtable.delete(key)
+                else:
+                    self.memtable.put(key, value)
+
+    def _charge_cpu(self) -> None:
+        if self.op_cpu_seconds:
+            self.clock.advance(self.op_cpu_seconds, component="cpu")

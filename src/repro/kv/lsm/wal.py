@@ -1,0 +1,84 @@
+"""Write-ahead log for the LSM store.
+
+Every mutation is appended before it reaches the memtable, so an
+un-flushed memtable can be replayed after a crash.  Record framing is the
+shared record encoding with a one-byte op tag (PUT/DELETE).  The log is
+truncated whenever the memtable it covers has been flushed to an SSTable.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Iterator, Optional
+
+from repro.device.ssd import SSDModel
+from repro.kv.common.serialization import decode_record, encode_record
+from repro.errors import StorageError
+
+_OP_PUT = 0x01
+_OP_DELETE = 0x02
+_TAG = struct.Struct("<B")
+
+
+class WriteAheadLog:
+    """Append-only redo log with group-commit style cost accounting."""
+
+    def __init__(self, path: str, ssd: SSDModel, sync_every: int = 64) -> None:
+        self.path = path
+        self.ssd = ssd
+        self.sync_every = max(1, sync_every)
+        self._file = open(path, "ab")
+        self._pending = 0
+        self._pending_bytes = 0
+
+    def append_put(self, key: int, value: bytes) -> None:
+        self._append(_OP_PUT, key, value)
+
+    def append_delete(self, key: int) -> None:
+        self._append(_OP_DELETE, key, b"")
+
+    def _append(self, op: int, key: int, value: bytes) -> None:
+        payload = _TAG.pack(op) + encode_record(key, value)
+        self._file.write(payload)
+        self._pending += 1
+        self._pending_bytes += len(payload)
+        if self._pending >= self.sync_every:
+            self.sync()
+
+    def sync(self) -> None:
+        """Flush buffered appends; charged as one sequential write."""
+        if self._pending == 0:
+            return
+        self._file.flush()
+        self.ssd.sequential_write(self._pending_bytes, blocking=False)
+        self._pending = 0
+        self._pending_bytes = 0
+
+    def truncate(self) -> None:
+        """Discard the log after its memtable has been flushed."""
+        self.sync()
+        self._file.close()
+        self._file = open(self.path, "wb")
+
+    def replay(self) -> Iterator[tuple[int, Optional[bytes]]]:
+        """Yield ``(key, value_or_None)`` mutations in append order."""
+        self._file.flush()
+        with open(self.path, "rb") as f:
+            data = f.read()
+        offset = 0
+        while offset < len(data):
+            try:
+                (op,) = _TAG.unpack_from(data, offset)
+                key, value, offset = decode_record(data, offset + _TAG.size)
+            except (struct.error, ValueError) as exc:
+                raise StorageError(f"corrupt WAL at offset {offset}") from exc
+            yield key, (value if op == _OP_PUT else None)
+
+    def close(self) -> None:
+        self.sync()
+        self._file.close()
+
+    def size_bytes(self) -> int:
+        self._file.flush()
+        return os.path.getsize(self.path)

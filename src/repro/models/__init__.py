@@ -1,0 +1,28 @@
+"""The paper's model zoo (Table II).
+
+* DLRM for CTR prediction: :class:`FFNN` and :class:`DCN`
+* KGE for link prediction: :class:`DistMult` and :class:`ComplEx`
+* GNN for node classification: :class:`GraphSage` and :class:`GAT`
+
+All models take embedding vectors as *inputs* (leaf tensors fetched from
+the storage layer) rather than owning an embedding matrix — this is the
+decoupling MLKV's key-value interface enables (paper §II-C).
+"""
+
+from repro.models.dlrm import FFNN, DCN, DLRMBase
+from repro.models.kge import DistMult, ComplEx, KGEModel
+from repro.models.gnn import GraphSage, GAT, GNNBase, SageLayer, GATLayer
+
+__all__ = [
+    "FFNN",
+    "DCN",
+    "DLRMBase",
+    "DistMult",
+    "ComplEx",
+    "KGEModel",
+    "GraphSage",
+    "GAT",
+    "GNNBase",
+    "SageLayer",
+    "GATLayer",
+]

@@ -1,0 +1,96 @@
+"""Deep learning recommendation models for CTR prediction.
+
+Input convention: ``dense`` is a [batch, num_dense] float array of dense
+features; ``emb`` is a Tensor of shape [batch, num_fields, dim] holding
+the embedding vectors fetched from storage (requires_grad so the sparse
+gradients flow back out to the trainer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import concat
+from repro.nn.layers import CrossLayer, Linear, MLP, Module
+from repro.nn.tensor import Tensor
+
+
+class DLRMBase(Module):
+    """Shared plumbing: flatten embeddings, join with dense features."""
+
+    def __init__(self, num_dense: int, num_fields: int, emb_dim: int) -> None:
+        super().__init__()
+        self.num_dense = num_dense
+        self.num_fields = num_fields
+        self.emb_dim = emb_dim
+        self.input_width = num_dense + num_fields * emb_dim
+
+    def join_inputs(self, dense: np.ndarray, emb: Tensor) -> Tensor:
+        batch = emb.shape[0]
+        flat = emb.reshape(batch, self.num_fields * self.emb_dim)
+        return concat([Tensor(dense), flat], axis=1)
+
+    def forward(self, dense: np.ndarray, emb: Tensor) -> Tensor:  # pragma: no cover
+        raise NotImplementedError
+
+
+class FFNN(DLRMBase):
+    """Fully connected feed-forward CTR model (paper's "FFNN").
+
+    Parameters
+    ----------
+    num_dense / num_fields / emb_dim:
+        Input schema (Criteo: 13 dense, 26 categorical fields).
+    hidden:
+        Hidden layer widths.
+    """
+
+    def __init__(
+        self,
+        num_dense: int,
+        num_fields: int,
+        emb_dim: int,
+        hidden: tuple[int, ...] = (64, 32),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(num_dense, num_fields, emb_dim)
+        rng = rng or np.random.default_rng(0)
+        self.mlp = MLP([self.input_width, *hidden, 1], rng=rng)
+
+    def forward(self, dense: np.ndarray, emb: Tensor) -> Tensor:
+        """Returns CTR logits of shape [batch]."""
+        x = self.join_inputs(dense, emb)
+        return self.mlp(x).reshape(-1)
+
+
+class DCN(DLRMBase):
+    """Deep & Cross Network (Wang et al. 2017).
+
+    A stack of explicit feature-cross layers runs in parallel with a deep
+    MLP; their outputs concatenate into the final logit.
+    """
+
+    def __init__(
+        self,
+        num_dense: int,
+        num_fields: int,
+        emb_dim: int,
+        num_cross: int = 3,
+        hidden: tuple[int, ...] = (64, 32),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(num_dense, num_fields, emb_dim)
+        rng = rng or np.random.default_rng(0)
+        self.cross_layers = [CrossLayer(self.input_width, rng=rng) for _ in range(num_cross)]
+        self.deep = MLP([self.input_width, *hidden], rng=rng, final_activation=True)
+        self.head = Linear(self.input_width + hidden[-1], 1, rng=rng)
+
+    def forward(self, dense: np.ndarray, emb: Tensor) -> Tensor:
+        """Returns CTR logits of shape [batch]."""
+        x0 = self.join_inputs(dense, emb)
+        xl = x0
+        for layer in self.cross_layers:
+            xl = layer(x0, xl)
+        deep_out = self.deep(x0)
+        joined = concat([xl, deep_out], axis=1)
+        return self.head(joined).reshape(-1)

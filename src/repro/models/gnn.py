@@ -1,0 +1,119 @@
+"""Graph neural networks for node classification.
+
+Both models run over *sampled subgraphs* in minibatch fashion (the DGL
+training style the paper uses): the trainer samples an L-hop neighborhood
+around the seed nodes and provides, per layer, the frontier-to-frontier
+aggregation structure.
+
+* :class:`GraphSage` (Hamilton et al. 2017) consumes per-layer
+  row-normalized mean matrices ``[n_dst, n_src]``.
+* :class:`GAT` (Veličković et al. 2018) consumes boolean adjacency masks
+  and computes masked-softmax attention per destination node.
+
+Node feature vectors (the embeddings fetched from storage) are the leaf
+inputs; gradients flow back to them for the sparse update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import softmax
+from repro.nn.layers import Linear, Module
+from repro.nn.tensor import Tensor
+
+
+class SageLayer(Module):
+    """GraphSage mean aggregator: ``relu(W_self x_dst + W_neigh mean(x_src))``."""
+
+    def __init__(self, in_dim: int, out_dim: int, activation: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.w_self = Linear(in_dim, out_dim, rng=rng)
+        self.w_neigh = Linear(in_dim, out_dim, bias=False, rng=rng)
+        self.activation = activation
+
+    def forward(self, x_src: Tensor, x_dst: Tensor, mean_mat: np.ndarray) -> Tensor:
+        agg = Tensor(mean_mat) @ x_src
+        out = self.w_self(x_dst) + self.w_neigh(agg)
+        return out.relu() if self.activation else out
+
+
+class GATLayer(Module):
+    """Single-head graph attention: masked softmax over sampled neighbors."""
+
+    def __init__(self, in_dim: int, out_dim: int, activation: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.w = Linear(in_dim, out_dim, bias=False, rng=rng)
+        bound = float(np.sqrt(3.0 / out_dim))
+        self.a_src = Tensor(rng.uniform(-bound, bound, (out_dim, 1)), requires_grad=True)
+        self.a_dst = Tensor(rng.uniform(-bound, bound, (out_dim, 1)), requires_grad=True)
+        self.activation = activation
+
+    def forward(self, x_src: Tensor, x_dst: Tensor, adj_mask: np.ndarray) -> Tensor:
+        h_src = self.w(x_src)                     # [n_src, d]
+        h_dst = self.w(x_dst)                     # [n_dst, d]
+        e_dst = h_dst @ self.a_dst                # [n_dst, 1]
+        e_src = (h_src @ self.a_src).reshape(1, -1)  # [1, n_src]
+        logits = (e_dst + e_src).leaky_relu(0.2)  # [n_dst, n_src]
+        attention = softmax(logits, axis=1, mask=adj_mask)
+        out = attention @ h_src
+        return out.relu() if self.activation else out
+
+
+class GNNBase(Module):
+    """L-layer GNN over sampled frontiers with a linear classifier head."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        num_classes: int,
+        num_layers: int = 2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be at least 1")
+        rng = rng or np.random.default_rng(0)
+        self.layers = self._build_layers(in_dim, hidden_dim, num_layers, rng)
+        self.head = Linear(hidden_dim, num_classes, rng=rng)
+        self.num_layers = num_layers
+
+    def _build_layers(self, in_dim, hidden_dim, num_layers, rng):  # pragma: no cover
+        raise NotImplementedError
+
+    def forward(self, features: Tensor, frontiers: list, structures: list[np.ndarray]) -> Tensor:
+        """Classify the seed nodes of a sampled block list.
+
+        ``features`` holds vectors for the outermost frontier (all nodes);
+        ``frontiers[l]`` is an index array selecting layer ``l``'s
+        destination nodes from layer ``l``'s source nodes; and
+        ``structures[l]`` is the aggregation matrix/mask ``[n_dst, n_src]``.
+        """
+        x = features
+        for layer, dst_index, structure in zip(self.layers, frontiers, structures):
+            x_dst = x[dst_index]
+            x = layer(x, x_dst, structure)
+        return self.head(x)
+
+
+class GraphSage(GNNBase):
+    def _build_layers(self, in_dim, hidden_dim, num_layers, rng):
+        layers = []
+        dims = [in_dim] + [hidden_dim] * num_layers
+        for i in range(num_layers):
+            layers.append(SageLayer(dims[i], dims[i + 1], rng=rng))
+        return layers
+
+
+class GAT(GNNBase):
+    def _build_layers(self, in_dim, hidden_dim, num_layers, rng):
+        layers = []
+        dims = [in_dim] + [hidden_dim] * num_layers
+        for i in range(num_layers):
+            layers.append(GATLayer(dims[i], dims[i + 1], rng=rng))
+        return layers

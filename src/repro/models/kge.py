@@ -1,0 +1,91 @@
+"""Knowledge-graph embedding models for link prediction.
+
+Entity embeddings are inputs fetched from storage; relation embeddings
+are dense module parameters (relation vocabularies are tiny compared to
+entities, so every specialized framework keeps them in device memory —
+we follow suit).
+
+Scoring conventions follow the original papers:
+
+* DistMult (Yang et al. 2015): ``s(h, r, t) = Σ h ∘ r ∘ t``
+* ComplEx (Trouillon et al. 2016): ``s = Re(Σ h ∘ r ∘ conj(t))`` with the
+  first/second halves of each vector as real/imaginary parts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+
+class KGEModel(Module):
+    """Shared relation-table plumbing for KGE scorers."""
+
+    def __init__(self, num_relations: int, dim: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if dim <= 0 or num_relations <= 0:
+            raise ValueError("num_relations and dim must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.num_relations = num_relations
+        self.dim = dim
+        self.relations = Tensor(
+            rng.uniform(-0.1, 0.1, (num_relations, dim)), requires_grad=True
+        )
+
+    def relation_vectors(self, rel_ids: np.ndarray) -> Tensor:
+        """Gather relation embeddings (differentiable scatter-add on grad)."""
+        return self.relations[np.asarray(rel_ids, dtype=np.int64)]
+
+    def score(self, heads: Tensor, rels: Tensor, tails: Tensor) -> Tensor:  # pragma: no cover
+        raise NotImplementedError
+
+    def forward(
+        self,
+        heads: Tensor,
+        rel_ids: np.ndarray,
+        tails: Tensor,
+        neg_tails: Tensor,
+    ) -> tuple[Tensor, Tensor]:
+        """Score positive triples and sampled negative tails.
+
+        ``heads``/``tails``: [batch, dim]; ``neg_tails``: [batch, negs, dim].
+        Returns ``(pos_scores [batch], neg_scores [batch, negs])``.
+        """
+        rels = self.relation_vectors(rel_ids)
+        pos = self.score(heads, rels, tails)
+        batch, dim = heads.shape
+        heads_b = heads.reshape(batch, 1, dim)
+        rels_b = rels.reshape(batch, 1, dim)
+        neg = self.score(heads_b, rels_b, neg_tails)
+        return pos, neg
+
+    def flops_per_sample(self) -> float:
+        return 6.0 * self.dim
+
+
+class DistMult(KGEModel):
+    """Bilinear-diagonal scorer."""
+
+    def score(self, heads: Tensor, rels: Tensor, tails: Tensor) -> Tensor:
+        return (heads * rels * tails).sum(axis=-1)
+
+
+class ComplEx(KGEModel):
+    """Complex bilinear scorer; ``dim`` must be even (re ‖ im halves)."""
+
+    def __init__(self, num_relations: int, dim: int, rng: np.random.Generator | None = None) -> None:
+        if dim % 2:
+            raise ValueError("ComplEx requires an even dimension")
+        super().__init__(num_relations, dim, rng=rng)
+        self.half = dim // 2
+
+    def score(self, heads: Tensor, rels: Tensor, tails: Tensor) -> Tensor:
+        h = self.half
+        h_re, h_im = heads[..., :h], heads[..., h:]
+        r_re, r_im = rels[..., :h], rels[..., h:]
+        t_re, t_im = tails[..., :h], tails[..., h:]
+        real_part = (h_re * r_re * t_re).sum(axis=-1) + (h_im * r_re * t_im).sum(axis=-1)
+        cross_part = (h_re * r_im * t_im).sum(axis=-1) - (h_im * r_im * t_re).sum(axis=-1)
+        return real_part + cross_part

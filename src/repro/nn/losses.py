@@ -1,0 +1,44 @@
+"""Loss functions for the paper's three tasks.
+
+* CTR prediction (DLRM): binary cross-entropy on logits.
+* Link prediction (KGE): logistic ranking loss over positive triples and
+  sampled negatives (the DistMult / ComplEx training objective).
+* Node classification (GNN): softmax cross-entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import logsigmoid
+from repro.nn.tensor import Tensor
+
+
+def bce_with_logits(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean binary cross-entropy, computed stably from logits."""
+    labels = np.asarray(labels, dtype=np.float32).reshape(logits.shape)
+    y = Tensor(labels)
+    # BCE(z, y) = softplus(z) - y*z  = -[y*logsig(z) + (1-y)*logsig(-z)]
+    loss = -(y * logsigmoid(logits) + (1.0 - y) * logsigmoid(-logits))
+    return loss.mean()
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy for integer class ``labels``; shape [n, classes]."""
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    n = logits.shape[0]
+    shifted = logits - logits.max(axis=1, keepdims=True).detach()
+    log_z = shifted.exp().sum(axis=1, keepdims=True).log()
+    log_probs = shifted - log_z
+    picked = log_probs[np.arange(n), labels]
+    return -picked.mean()
+
+
+def logistic_ranking_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
+    """KGE objective: −log σ(s⁺) − log σ(−s⁻), averaged.
+
+    ``pos_scores`` has shape [batch]; ``neg_scores`` [batch, negatives].
+    """
+    pos_term = logsigmoid(pos_scores).mean()
+    neg_term = logsigmoid(-neg_scores).mean()
+    return -(pos_term + neg_term)

@@ -1,0 +1,145 @@
+"""Optimizers: dense (SGD / Adagrad / Adam) and sparse-row (RowAdagrad).
+
+Dense optimizers step over ``Module.parameters()``.  ``RowAdagrad``
+implements the per-row adaptive update embedding tables need: the trainer
+hands it ``(keys, rows, grads)`` for just the rows touched by a batch,
+and it returns the updated rows to ``Put`` back into the store — the
+paper's Figure 3 line 17 (``emb_optimizer``) pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float, momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += param.grad
+                param.data -= self.lr * velocity
+            else:
+                param.data -= self.lr * param.grad
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+
+class Adagrad:
+    """Adagrad (Duchi et al. 2011), the classic choice for sparse models."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float = 0.01, eps: float = 1e-10) -> None:
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.eps = eps
+        self._accumulators = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, acc in zip(self.parameters, self._accumulators):
+            if param.grad is None:
+                continue
+            acc += param.grad * param.grad
+            param.data -= self.lr * param.grad / (np.sqrt(acc) + self.eps)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+
+class Adam:
+    """Adam (Kingma & Ba 2015)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * param.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * param.grad * param.grad
+            param.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+
+class RowAdagrad:
+    """Adagrad over sparse embedding rows fetched from the KV store.
+
+    Accumulator state lives in host memory keyed by embedding id (the
+    specialized frameworks keep the same state in their parameter-server
+    shards); only the embedding *values* round-trip through storage.
+    Falls back to plain SGD when ``adaptive=False``.
+    """
+
+    def __init__(self, lr: float = 0.05, eps: float = 1e-10, adaptive: bool = True) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.eps = eps
+        self.adaptive = adaptive
+        self._accumulators: dict[int, np.ndarray] = {}
+
+    def updated_rows(
+        self, keys: np.ndarray, rows: np.ndarray, grads: np.ndarray
+    ) -> np.ndarray:
+        """Return new row values for ``keys`` given gradients ``grads``.
+
+        Duplicate keys must be pre-aggregated by the caller (the trainers
+        sum gradients per unique key first).
+        """
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+        rows = np.asarray(rows, dtype=np.float32).reshape(len(keys), -1)
+        grads = np.asarray(grads, dtype=np.float32).reshape(len(keys), -1)
+        if not self.adaptive:
+            return rows - self.lr * grads
+        out = np.empty_like(rows)
+        for i, key in enumerate(keys):
+            acc = self._accumulators.get(int(key))
+            if acc is None:
+                acc = np.zeros(rows.shape[1], dtype=np.float32)
+                self._accumulators[int(key)] = acc
+            acc += grads[i] * grads[i]
+            out[i] = rows[i] - self.lr * grads[i] / (np.sqrt(acc) + self.eps)
+        return out
+
+    def state_bytes(self) -> int:
+        """Size of the in-memory accumulator state (for DESIGN notes)."""
+        return sum(acc.nbytes for acc in self._accumulators.values())

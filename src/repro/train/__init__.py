@@ -1,0 +1,36 @@
+"""ML task-specific computation layers (PERSIA / DGL / DGL-KE stand-ins).
+
+:class:`~repro.train.loop.BaseTrainer` implements the asynchronous
+training pipeline of paper §II-A: embedding updates computed at iteration
+``t`` are applied at ``t + pipeline_depth`` (the staleness ``s = t−k(t)``),
+with MLKV's per-key vector clocks bounding the effective staleness and
+the trainer's stall handler resolving blocked Gets by applying pending
+updates (the data stall of Figure 2).
+
+Task subclasses provide embedding-key extraction and forward/backward:
+:class:`DLRMTrainer` (CTR), :class:`KGETrainer` (link prediction),
+:class:`GNNTrainer` (node classification).
+"""
+
+from repro.train.metrics import auc, accuracy, hits_at_k
+from repro.train.loop import TrainerConfig, TrainResult, BaseTrainer
+from repro.train.dlrm import DLRMTrainer
+from repro.train.kge import KGETrainer
+from repro.train.gnn import GNNTrainer
+from repro.train.partition import beta_order, partition_of
+from repro.train.ddp import DDPReference
+
+__all__ = [
+    "auc",
+    "accuracy",
+    "hits_at_k",
+    "TrainerConfig",
+    "TrainResult",
+    "BaseTrainer",
+    "DLRMTrainer",
+    "KGETrainer",
+    "GNNTrainer",
+    "beta_order",
+    "partition_of",
+    "DDPReference",
+]

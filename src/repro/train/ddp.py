@@ -1,0 +1,48 @@
+"""Analytic DGL-DDP reference for Figure 11(a).
+
+The paper compares single-instance DGL-MLKV against two-instance DGL-DDP
+(data parallel, embedding model fully in the aggregate memory of both
+machines) and reports DGL-MLKV reaching 69.6% of DDP's throughput at half
+the instance cost.  DDP itself needs two physical machines, so this
+reproduction models its throughput analytically: per batch, each worker
+computes half the samples, then gradients all-reduce over the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DDPReference:
+    """Two-instance data-parallel throughput estimate.
+
+    Parameters
+    ----------
+    workers:
+        Instance count (the paper's "Distributed DDP" uses 2).
+    per_sample_compute:
+        Seconds of compute per training sample on one instance.
+    gradient_bytes:
+        Dense gradient volume all-reduced per batch.
+    network_bandwidth:
+        Inter-instance bandwidth (10 Gb/s default).
+    network_latency:
+        Per-all-reduce latency.
+    """
+
+    workers: int = 2
+    per_sample_compute: float = 25e-6
+    gradient_bytes: float = 4e6
+    network_bandwidth: float = 1.25e9
+    network_latency: float = 500e-6
+
+    def throughput(self, batch_size: int = 1024) -> float:
+        """Samples per second for synchronous data-parallel training."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        compute = (batch_size / self.workers) * self.per_sample_compute
+        # Ring all-reduce moves 2(w-1)/w of the gradient volume.
+        volume = 2.0 * (self.workers - 1) / self.workers * self.gradient_bytes
+        comm = self.network_latency + volume / self.network_bandwidth
+        return batch_size / (compute + comm)

@@ -1,0 +1,44 @@
+"""DLRM / CTR trainer (PERSIA stand-in computation layer)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.ctr import CTRBatch, CTRDataset
+from repro.nn.losses import bce_with_logits
+from repro.train.loop import BaseTrainer, TrainerConfig
+from repro.train.metrics import auc
+
+
+class DLRMTrainer(BaseTrainer):
+    """CTR training with FFNN or DCN over storage-resident embeddings."""
+
+    metric_name = "AUC"
+
+    def __init__(self, tables, network, gpu, config: TrainerConfig, dataset: CTRDataset) -> None:
+        super().__init__(tables, network, gpu, config)
+        self.dataset = dataset
+        self._eval_batch = dataset.eval_batch(config.eval_size)
+
+    def embedding_keys(self, batch: CTRBatch) -> np.ndarray:
+        return batch.sparse.reshape(-1)
+
+    def forward_backward(self, batch: CTRBatch, unique_keys, rows):
+        leaf = self.leaf(rows)
+        index = self.gather_index(unique_keys, batch.sparse)  # [batch, fields]
+        emb = leaf[index]  # [batch, fields, dim]; duplicate grads accumulate
+        logits = self.network(batch.dense, emb)
+        loss = bce_with_logits(logits, batch.labels)
+        loss.backward()
+        return float(loss.item()), leaf.grad
+
+    def evaluate(self) -> float:
+        """AUC on the held-out slice with committed embedding values."""
+        batch = self._eval_batch
+        emb = self.leaf(self.tables.peek(batch.sparse))
+        self.network.eval()
+        try:
+            logits = self.network(batch.dense, emb)
+        finally:
+            self.network.train()
+        return auc(batch.labels, logits.numpy())

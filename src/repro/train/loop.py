@@ -1,0 +1,288 @@
+"""The asynchronous embedding-training pipeline shared by all tasks.
+
+One training step (paper Figure 4, steps 1–8):
+
+1. the look-ahead engine prefetches upcoming batches (buffer and/or
+   cache destinations),
+2. ``tables.get`` fetches this batch's unique embedding rows — a Get that
+   exceeds the staleness bound triggers the registered stall handler,
+   which applies the oldest pending updates until the key admits (this is
+   where synchronous training burns time in Figure 2),
+3. the task-specific ``forward_backward`` runs the network and produces
+   gradients with respect to the fetched rows (compute charged to the
+   simulated GPU: 1× forward, 2× backward),
+4. the sparse optimizer turns gradients into updated rows, which join the
+   *pending queue*; entries older than ``pipeline_depth`` batches are
+   applied (``tables.put``) — so embeddings used at iteration ``t`` were
+   last updated at ``t − pipeline_depth`` (the staleness ``s`` of §II-A).
+
+``pipeline_depth = 0`` gives BSP (every update applied before the next
+fetch); a large depth with ``staleness_bound = ∞`` gives ASP; a depth
+with a finite bound gives SSP, where the *store*, not the trainer,
+enforces the bound per key.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.embedding import EmbeddingTables
+from repro.core.lookahead import LookaheadEngine
+from repro.device.gpu import GPUModel
+from repro.errors import ConfigError
+from repro.nn.layers import Module
+from repro.nn.optim import Adam, RowAdagrad
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class TrainerConfig:
+    """Knobs shared by every task trainer."""
+
+    batch_size: int = 128
+    pipeline_depth: int = 0
+    lookahead_distance: int = 0
+    conventional_window: int = 0
+    emb_lr: float = 0.05
+    nn_lr: float = 0.005
+    adaptive_emb: bool = True
+    eval_every: int = 0
+    eval_size: int = 512
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ConfigError("batch_size must be positive")
+        if self.pipeline_depth < 0 or self.lookahead_distance < 0:
+            raise ConfigError("pipeline_depth and lookahead_distance must be >= 0")
+
+
+@dataclass
+class TrainResult:
+    """Everything the benchmark figures need from one training run."""
+
+    steps: int = 0
+    samples: int = 0
+    sim_seconds: float = 0.0
+    throughput: float = 0.0
+    emb_access_seconds: float = 0.0
+    forward_seconds: float = 0.0
+    backward_seconds: float = 0.0
+    stall_events: int = 0
+    final_metric: float = 0.0
+    metric_name: str = ""
+    history: list[tuple[float, float]] = field(default_factory=list)  # (sim_s, metric)
+    losses: list[float] = field(default_factory=list)
+
+    def breakdown(self) -> dict[str, float]:
+        """Latency breakdown percentages (Figure 2, left)."""
+        total = self.emb_access_seconds + self.forward_seconds + self.backward_seconds
+        if total == 0:
+            return {"emb_access": 0.0, "forward": 0.0, "backward": 0.0}
+        return {
+            "emb_access": 100.0 * self.emb_access_seconds / total,
+            "forward": 100.0 * self.forward_seconds / total,
+            "backward": 100.0 * self.backward_seconds / total,
+        }
+
+
+class BaseTrainer:
+    """Pipeline harness; subclasses implement the task specifics.
+
+    Parameters
+    ----------
+    tables:
+        Embedding facade over MLKV or a baseline store.
+    network:
+        Dense model (its parameters train with Adam on the "GPU").
+    gpu:
+        Compute cost model; shares the clock with the store's SSD model.
+    config:
+        Pipeline and optimizer knobs.
+    """
+
+    metric_name = "metric"
+
+    def __init__(
+        self,
+        tables: EmbeddingTables,
+        network: Module,
+        gpu: GPUModel,
+        config: TrainerConfig,
+    ) -> None:
+        self.tables = tables
+        self.network = network
+        self.gpu = gpu
+        self.clock = gpu.clock
+        self.config = config
+        self.emb_optimizer = RowAdagrad(lr=config.emb_lr, adaptive=config.adaptive_emb)
+        self.nn_optimizer = Adam(network.parameters(), lr=config.nn_lr)
+        self.pending: deque[tuple[np.ndarray, np.ndarray]] = deque()
+        self._result = TrainResult(metric_name=self.metric_name)
+        handler_sink = getattr(tables.store, "set_stall_handler", None)
+        if handler_sink is not None:
+            handler_sink(self._on_stall)
+
+    # ------------------------------------------------------------------
+    # task-specific hooks
+    # ------------------------------------------------------------------
+    def embedding_keys(self, batch) -> np.ndarray:  # pragma: no cover - abstract
+        """All embedding keys the batch touches (duplicates fine)."""
+        raise NotImplementedError
+
+    def forward_backward(
+        self, batch, unique_keys: np.ndarray, rows: np.ndarray
+    ) -> tuple[float, np.ndarray]:  # pragma: no cover - abstract
+        """Run the model; returns ``(loss_value, grads_wrt_rows)``."""
+        raise NotImplementedError
+
+    def evaluate(self) -> float:  # pragma: no cover - abstract
+        """Compute the task metric on held-out data (committed reads)."""
+        raise NotImplementedError
+
+    def batch_flops(self, batch) -> float:
+        """Forward FLOPs for the batch (default: per-sample × batch size)."""
+        return self.config.batch_size * self.network.flops_per_sample()
+
+    # ------------------------------------------------------------------
+    # the pipeline
+    # ------------------------------------------------------------------
+    def run(self, batches: Sequence, samples_per_batch: Optional[int] = None) -> TrainResult:
+        """Train over ``batches``; returns the accumulated result."""
+        config = self.config
+        result = self._result
+        samples_per_batch = samples_per_batch or config.batch_size
+        schedule = [np.unique(self.embedding_keys(batch)) for batch in batches]
+        engine = LookaheadEngine(
+            self.tables,
+            schedule,
+            distance=config.lookahead_distance,
+            conventional_window=self._clamped_window(),
+        )
+        start = self.clock.now
+        self._run_start = start
+        for step, batch in enumerate(batches):
+            engine.advance(step)
+            self._train_one(batch, schedule[step])
+            result.steps += 1
+            result.samples += samples_per_batch
+            if config.eval_every and (step + 1) % config.eval_every == 0:
+                self._record_eval(start)
+        self.flush_pending()
+        self.clock.drain()
+        result.sim_seconds = self.clock.now - start
+        if result.sim_seconds > 0:
+            result.throughput = result.samples / result.sim_seconds
+        result.final_metric = self._offline_eval()
+        if not result.history or result.history[-1][1] != result.final_metric:
+            result.history.append((result.sim_seconds, result.final_metric))
+        store_stats = getattr(self.tables.store, "mlkv_stats", None)
+        if store_stats is not None:
+            result.stall_events = store_stats.stall_events
+        return result
+
+    def _train_one(self, batch, unique_keys: np.ndarray) -> None:
+        result = self._result
+        t0 = self.clock.now
+        rows = self.tables.get(unique_keys)
+        result.emb_access_seconds += self.clock.now - t0
+
+        flops = self.batch_flops(batch)
+        t1 = self.clock.now
+        loss_value, grads = self.forward_backward(batch, unique_keys, rows)
+        self.gpu.charge(flops)
+        result.forward_seconds += self.clock.now - t1
+
+        t2 = self.clock.now
+        self.gpu.charge(2.0 * flops)  # backward ≈ 2× forward
+        self.nn_optimizer.step()
+        self.network.zero_grad()
+        result.backward_seconds += self.clock.now - t2
+        result.losses.append(loss_value)
+
+        new_rows = self.emb_optimizer.updated_rows(unique_keys, rows, grads)
+        self.pending.append((unique_keys, new_rows))
+        t3 = self.clock.now
+        while len(self.pending) > self.config.pipeline_depth:
+            self._apply_oldest()
+        result.emb_access_seconds += self.clock.now - t3
+
+        # Settle overlapped I/O: prefetch may run at most its window depth
+        # ahead of the consumer, so excess backlog is a real device stall.
+        t4 = self.clock.now
+        self.clock.drain_step(self._carry_budget())
+        result.emb_access_seconds += self.clock.now - t4
+
+    def _on_stall(self, key: int) -> bool:
+        """MLKV's stall hook: make progress by applying pending updates."""
+        if not self.pending:
+            return False
+        self._apply_oldest()
+        return True
+
+    def _apply_oldest(self) -> None:
+        keys, rows = self.pending.popleft()
+        self.tables.put(keys, rows)
+
+    def flush_pending(self) -> None:
+        while self.pending:
+            self._apply_oldest()
+
+    def _carry_budget(self) -> float:
+        """Seconds of background I/O allowed to stay in flight.
+
+        Proportional to how many batches ahead any prefetcher reaches:
+        deeper windows legitimately overlap more future compute.
+        """
+        window_batches = max(
+            1, self.config.lookahead_distance, self._clamped_window(),
+            self.config.pipeline_depth,
+        )
+        steps = max(1, self._result.steps + 1)
+        avg_step = (self.clock.now - getattr(self, "_run_start", 0.0)) / steps
+        return window_batches * max(avg_step, 1e-6)
+
+    def _clamped_window(self) -> int:
+        """Conventional prefetch window, limited by the staleness bound.
+
+        Each cache prefetch performs a Get admission, and each in-flight
+        pipeline stage holds one more; to stay within the bound the
+        window may only use the slack the pipeline leaves (paper
+        §III-C2: conventional prefetching cannot exceed the bound).
+        """
+        bound = getattr(self.tables.store, "staleness_bound", None)
+        window = self.config.conventional_window
+        if bound is None:
+            return window
+        slack = max(0, bound - self.config.pipeline_depth)
+        return int(min(window, slack))
+
+    # ------------------------------------------------------------------
+    # evaluation (off the training clock)
+    # ------------------------------------------------------------------
+    def _record_eval(self, start: float) -> None:
+        elapsed = self.clock.now - start
+        metric = self._offline_eval()
+        self._result.history.append((elapsed, metric))
+
+    def _offline_eval(self) -> float:
+        state = self.clock.snapshot()
+        try:
+            return self.evaluate()
+        finally:
+            self.clock.restore(state)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def gather_index(unique_keys: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        """Positions of ``keys`` inside sorted ``unique_keys``."""
+        return np.searchsorted(unique_keys, keys)
+
+    @staticmethod
+    def leaf(rows: np.ndarray) -> Tensor:
+        """Wrap fetched rows as the autograd leaf for sparse gradients."""
+        return Tensor(rows, requires_grad=True)

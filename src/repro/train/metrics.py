@@ -1,0 +1,61 @@
+"""Evaluation metrics: AUC, accuracy, Hits@k.
+
+AUC uses the rank-statistic (Mann–Whitney) formulation with midrank tie
+handling, equivalent to trapezoidal ROC integration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve; returns 0.5 for degenerate label sets."""
+    labels = np.asarray(labels).reshape(-1)
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must align")
+    positives = labels > 0.5
+    num_pos = int(positives.sum())
+    num_neg = labels.size - num_pos
+    if num_pos == 0 or num_neg == 0:
+        return 0.5
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(labels.size, dtype=np.float64)
+    sorted_scores = scores[order]
+    # Midranks for ties.
+    i = 0
+    while i < labels.size:
+        j = i
+        while j + 1 < labels.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    pos_rank_sum = ranks[positives].sum()
+    return float((pos_rank_sum - num_pos * (num_pos + 1) / 2.0) / (num_pos * num_neg))
+
+
+def accuracy(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Fraction of exact matches."""
+    labels = np.asarray(labels).reshape(-1)
+    predictions = np.asarray(predictions).reshape(-1)
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must align")
+    if labels.size == 0:
+        raise ValueError("empty evaluation batch")
+    return float((labels == predictions).mean())
+
+
+def hits_at_k(pos_scores: np.ndarray, candidate_scores: np.ndarray, k: int = 10) -> float:
+    """Fraction of positives ranked within the top ``k`` of their candidates.
+
+    ``pos_scores``: [n]; ``candidate_scores``: [n, c].  Rank counts
+    candidates scoring strictly higher (optimistic tie handling, as in
+    DGL-KE's evaluator).
+    """
+    pos_scores = np.asarray(pos_scores, dtype=np.float64).reshape(-1)
+    candidate_scores = np.asarray(candidate_scores, dtype=np.float64)
+    if candidate_scores.ndim != 2 or candidate_scores.shape[0] != pos_scores.size:
+        raise ValueError("candidate_scores must be [n, c] aligned with pos_scores")
+    higher = (candidate_scores > pos_scores[:, None]).sum(axis=1)
+    return float((higher < k).mean())

@@ -1,0 +1,27 @@
+"""Shared fixtures: fresh device stacks and temp store directories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import GPUModel, SimClock, SSDModel
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def ssd(clock: SimClock) -> SSDModel:
+    return SSDModel(clock)
+
+
+@pytest.fixture
+def gpu(clock: SimClock) -> GPUModel:
+    return GPUModel(clock)
+
+
+@pytest.fixture
+def store_dir(tmp_path) -> str:
+    return str(tmp_path / "store")

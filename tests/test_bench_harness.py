@@ -1,0 +1,131 @@
+"""Bench harness: stacks, native store, tables/figures plumbing."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BACKENDS,
+    CAPABILITY_MATRIX,
+    NativeStore,
+    build_stack,
+    format_table,
+    save_results,
+    table1_rows,
+)
+from repro.bench.capability import mlkv_capability_evidence
+from repro.core.mlkv import MLKV
+from repro.errors import ConfigError, StorageError
+
+
+class TestNativeStore:
+    def test_crud(self):
+        store = NativeStore()
+        store.put(1, b"a")
+        assert store.get(1) == b"a"
+        assert store.delete(1)
+        assert store.get(1) is None
+
+    def test_budget_enforced(self):
+        store = NativeStore(memory_budget_bytes=10)
+        store.put(1, b"12345")
+        with pytest.raises(StorageError):
+            store.put(2, b"123456789")
+
+    def test_overwrite_accounts_delta(self):
+        store = NativeStore(memory_budget_bytes=10)
+        store.put(1, b"1234567890")
+        store.put(1, b"12345")  # shrink frees budget
+        store.put(2, b"12345")
+
+    def test_scan(self):
+        store = NativeStore()
+        store.put(1, b"a")
+        store.put(2, b"b")
+        assert dict(store.scan()) == {1: b"a", 2: b"b"}
+
+    def test_charges_cpu_only(self):
+        store = NativeStore()
+        store.put(1, b"a")
+        store.get(1)
+        assert store.clock.busy_seconds("cpu") > 0
+        assert store.clock.busy_seconds("ssd") == 0
+
+
+class TestBuildStack:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_every_backend_builds_and_serves(self, backend, tmp_path):
+        stack = build_stack(backend, dim=4, memory_budget_bytes=1 << 16,
+                            workdir=str(tmp_path))
+        vec = stack.tables.get(np.array([1, 2, 3]))
+        assert vec.shape == (3, 4)
+        stack.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            build_stack("redis", dim=4, memory_budget_bytes=1 << 16)
+
+    def test_mlkv_stack_respects_bound(self, tmp_path):
+        stack = build_stack("mlkv", dim=4, memory_budget_bytes=1 << 16,
+                            staleness_bound=3, workdir=str(tmp_path))
+        assert isinstance(stack.store, MLKV)
+        assert stack.store.staleness_bound == 3
+        stack.close()
+
+    def test_devices_share_one_clock(self, tmp_path):
+        stack = build_stack("faster", dim=4, memory_budget_bytes=1 << 16,
+                            workdir=str(tmp_path))
+        assert stack.gpu.clock is stack.ssd.clock is stack.clock
+        stack.close()
+
+    def test_energy_accounting(self, tmp_path):
+        stack = build_stack("mlkv", dim=4, memory_budget_bytes=1 << 16,
+                            workdir=str(tmp_path))
+        stack.tables.get(np.arange(100))
+        assert stack.joules_per_batch(10) > 0
+        stack.close()
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_save_results_writes_json_and_text(self, tmp_path):
+        path = save_results("figX", [{"k": 1.5}], results_dir=str(tmp_path))
+        assert os.path.exists(path)
+        assert os.path.exists(str(tmp_path / "figX.json"))
+
+
+class TestCapabilityMatrix:
+    def test_mlkv_claims_everything(self):
+        assert all(CAPABILITY_MATRIX["MLKV"].values())
+
+    def test_paper_rows_present(self):
+        assert set(CAPABILITY_MATRIX) == {
+            "PERSIA", "AIBox", "HugeCTR", "PyG", "PBG", "DGL(-KE)", "Hetu", "MLKV",
+        }
+
+    def test_no_baseline_claims_bounded_staleness_on_disk(self):
+        for framework, caps in CAPABILITY_MATRIX.items():
+            if framework in ("MLKV",):
+                continue
+            assert not (caps["BS"] and caps["Disk"])
+
+    def test_table1_rows_render(self):
+        rows = table1_rows()
+        assert len(rows) == 8
+        mlkv_row = next(r for r in rows if r["Framework"] == "MLKV")
+        assert all(v == "Y" for k, v in mlkv_row.items() if k != "Framework")
+
+    def test_evidence_covers_every_capability(self):
+        evidence = mlkv_capability_evidence()
+        assert set(evidence) == set(CAPABILITY_MATRIX["MLKV"])

@@ -1,0 +1,162 @@
+"""B+tree store: node codec, pager, splits, eviction, recovery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import SimClock, SSDModel
+from repro.kv.btree import BTreeKV, PageStore
+from repro.kv.btree.store import _Node
+
+
+def fresh_ssd():
+    return SSDModel(SimClock())
+
+
+class TestNodeCodec:
+    def test_leaf_roundtrip(self):
+        node = _Node(leaf=True)
+        node.keys = [1, 5, 9]
+        node.values = [b"a", b"bb", b""]
+        decoded = _Node.decode(node.encode())
+        assert decoded.leaf
+        assert decoded.keys == [1, 5, 9]
+        assert decoded.values == [b"a", b"bb", b""]
+
+    def test_internal_roundtrip(self):
+        node = _Node(leaf=False)
+        node.keys = [10, 20]
+        node.children = [100, 200, 300]
+        decoded = _Node.decode(node.encode())
+        assert not decoded.leaf
+        assert decoded.keys == [10, 20]
+        assert decoded.children == [100, 200, 300]
+
+
+class TestPageStore:
+    def test_write_read_roundtrip(self, tmp_path):
+        pager = PageStore(str(tmp_path / "pages"), fresh_ssd())
+        page = pager.allocate()
+        pager.write(page, b"hello page")
+        assert pager.read(page) == b"hello page"
+        pager.close()
+
+    def test_copy_on_write_supersedes(self, tmp_path):
+        pager = PageStore(str(tmp_path / "pages"), fresh_ssd())
+        page = pager.allocate()
+        pager.write(page, b"v1")
+        pager.write(page, b"v2-longer")
+        assert pager.read(page) == b"v2-longer"
+        assert pager.garbage_ratio() > 0.0
+        pager.close()
+
+    def test_compact_reclaims_garbage(self, tmp_path):
+        pager = PageStore(str(tmp_path / "pages"), fresh_ssd())
+        page = pager.allocate()
+        for i in range(20):
+            pager.write(page, bytes([i]) * 50)
+        pager.compact()
+        assert pager.garbage_ratio() == pytest.approx(0.0)
+        assert pager.read(page) == bytes([19]) * 50
+        pager.close()
+
+    def test_checkpoint_recover(self, tmp_path):
+        pager = PageStore(str(tmp_path / "pages"), fresh_ssd())
+        page = pager.allocate()
+        pager.write(page, b"persisted")
+        pager.checkpoint(str(tmp_path / "meta"), root_page=page)
+        pager.close()
+        recovered, root = PageStore.recover(
+            str(tmp_path / "pages"), str(tmp_path / "meta"), fresh_ssd()
+        )
+        assert root == page
+        assert recovered.read(page) == b"persisted"
+        recovered.close()
+
+
+class TestBTreeStore:
+    def test_crud(self, tmp_path):
+        with BTreeKV(str(tmp_path), memory_budget_bytes=1 << 16, fanout=8) as store:
+            store.put(1, b"one")
+            store.put(2, b"two")
+            assert store.get(1) == b"one"
+            assert store.delete(1)
+            assert store.get(1) is None
+            assert not store.delete(1)
+
+    def test_splits_preserve_all_keys(self, tmp_path):
+        with BTreeKV(str(tmp_path), memory_budget_bytes=1 << 18, fanout=8) as store:
+            for i in range(1000):
+                store.put(i, bytes([i % 251]) * 8)
+            assert store.stats.extra["splits"] > 0
+            for i in range(0, 1000, 37):
+                assert store.get(i) == bytes([i % 251]) * 8
+
+    def test_reverse_and_random_insert_orders(self, tmp_path):
+        import random
+        keys = list(range(500))
+        random.Random(0).shuffle(keys)
+        with BTreeKV(str(tmp_path), memory_budget_bytes=1 << 18, fanout=6) as store:
+            for key in keys:
+                store.put(key, bytes([key % 251]))
+            assert [k for k, _ in store.scan()] == sorted(keys)
+
+    def test_eviction_writes_dirty_pages(self, tmp_path):
+        with BTreeKV(str(tmp_path), memory_budget_bytes=1 << 15, fanout=8) as store:
+            for i in range(3000):
+                store.put(i, bytes(16))
+            assert store.stats.extra["page_writes"] > 0
+            assert store.stats.extra["page_reads"] > 0
+            for i in range(0, 3000, 101):
+                assert store.get(i) == bytes(16)
+
+    def test_scan_sorted(self, tmp_path):
+        with BTreeKV(str(tmp_path), memory_budget_bytes=1 << 16, fanout=8) as store:
+            for key in (5, 1, 9, 3):
+                store.put(key, bytes([key]))
+            assert [k for k, _ in store.scan()] == [1, 3, 5, 9]
+
+    def test_checkpoint_and_recover(self, tmp_path):
+        store = BTreeKV(str(tmp_path), memory_budget_bytes=1 << 16, fanout=8)
+        for i in range(400):
+            store.put(i, bytes([i % 251]) * 12)
+        store.delete(13)
+        store.close()  # close() checkpoints
+        recovered = BTreeKV(str(tmp_path), memory_budget_bytes=1 << 16, fanout=8)
+        assert recovered.get(13) is None
+        for i in (0, 200, 399):
+            if i != 13:
+                assert recovered.get(i) == bytes([i % 251]) * 12
+        recovered.close()
+
+    def test_fanout_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            BTreeKV(str(tmp_path), fanout=2)
+
+    def test_disk_reads_charged_to_clock(self, tmp_path):
+        ssd = fresh_ssd()
+        with BTreeKV(str(tmp_path), ssd=ssd, memory_budget_bytes=1 << 15, fanout=8) as store:
+            for i in range(3000):
+                store.put(i, bytes(16))
+            assert ssd.clock.now > 0.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.tuples(
+        st.sampled_from(["put", "get", "del"]),
+        st.integers(0, 40),
+        st.binary(min_size=1, max_size=24),
+    ), max_size=120))
+    def test_matches_dict_model(self, tmp_path_factory, ops):
+        path = tmp_path_factory.mktemp("btree-model")
+        model = {}
+        with BTreeKV(str(path), memory_budget_bytes=1 << 14, fanout=5) as store:
+            for op, key, value in ops:
+                if op == "put":
+                    store.put(key, value)
+                    model[key] = value
+                elif op == "get":
+                    assert store.get(key) == model.get(key)
+                else:
+                    assert store.delete(key) == (key in model)
+                    model.pop(key, None)
+            assert dict(store.scan()) == model

@@ -1,0 +1,202 @@
+"""Workload generators: schemas, determinism, planted signal, skew."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CTRDataset,
+    DATASETS,
+    GraphDataset,
+    KGDataset,
+    make_payout_graph,
+    make_trisk_graph,
+    table2_rows,
+)
+
+
+class TestCTRDataset:
+    def test_schema(self):
+        ds = CTRDataset(num_fields=4, field_cardinality=100, num_dense=13)
+        batch = ds.sample_batch(32, np.random.default_rng(0))
+        assert batch.dense.shape == (32, 13)
+        assert batch.sparse.shape == (32, 4)
+        assert batch.labels.shape == (32,)
+        assert set(np.unique(batch.labels)) <= {0.0, 1.0}
+
+    def test_keys_partitioned_by_field(self):
+        ds = CTRDataset(num_fields=4, field_cardinality=100)
+        batch = ds.sample_batch(256, np.random.default_rng(0))
+        for field in range(4):
+            column = batch.sparse[:, field]
+            assert (column >= field * 100).all()
+            assert (column < (field + 1) * 100).all()
+
+    def test_batches_deterministic(self):
+        ds = CTRDataset(seed=3)
+        first = ds.batches(3, 16, seed=5)
+        second = ds.batches(3, 16, seed=5)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.sparse, b.sparse)
+            np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_eval_differs_from_training(self):
+        ds = CTRDataset(seed=3)
+        train = ds.batches(1, 64)[0]
+        eval_batch = ds.eval_batch(64)
+        assert not np.array_equal(train.sparse, eval_batch.sparse)
+
+    def test_popularity_skew(self):
+        ds = CTRDataset(num_fields=1, field_cardinality=1000, skew=1.1)
+        batch = ds.sample_batch(5000, np.random.default_rng(0))
+        _, counts = np.unique(batch.sparse, return_counts=True)
+        top_share = np.sort(counts)[::-1][:10].sum() / 5000
+        assert top_share > 0.15  # hot keys dominate
+
+    def test_labels_correlate_with_planted_signal(self):
+        ds = CTRDataset(num_fields=4, field_cardinality=50, noise_scale=0.1)
+        batch = ds.sample_batch(4000, np.random.default_rng(0))
+        # Reconstruct the planted logit and check the label agrees.
+        values = batch.sparse - np.arange(4) * 50
+        logit = batch.dense @ ds._dense_weights
+        logit = logit + ds._effects[np.arange(4), values].sum(axis=1)
+        agreement = ((logit > 0) == (batch.labels > 0.5)).mean()
+        assert agreement > 0.75
+
+    def test_invalid_schema(self):
+        with pytest.raises(ValueError):
+            CTRDataset(num_fields=0)
+        with pytest.raises(ValueError):
+            CTRDataset(field_cardinality=1)
+
+
+class TestKGDataset:
+    def test_triples_within_ranges(self):
+        kg = KGDataset(num_entities=500, num_relations=4, num_triples=2000)
+        assert kg.triples.shape[1] == 3
+        assert kg.triples[:, 0].max() < 500
+        assert kg.triples[:, 1].max() < 4
+        assert kg.triples[:, 2].max() < 500
+
+    def test_train_valid_split(self):
+        kg = KGDataset(num_entities=500, num_triples=2000)
+        assert len(kg.train_triples) + len(kg.valid_triples) == 2000
+        assert len(kg.valid_triples) >= 1
+
+    def test_co_cluster_structure_planted(self):
+        kg = KGDataset(num_entities=1000, num_triples=5000, cluster_noise=0.1)
+        heads = kg.triples[:, 0]
+        tails = kg.triples[:, 2]
+        same = (kg.entity_cluster[heads] == kg.entity_cluster[tails]).mean()
+        assert same > 0.8
+
+    def test_batches_shapes_and_determinism(self):
+        kg = KGDataset(num_entities=500, num_triples=2000)
+        first = kg.batches(2, 32, negatives=5, seed=9)
+        second = kg.batches(2, 32, negatives=5, seed=9)
+        assert first[0].neg_tails.shape == (32, 5)
+        np.testing.assert_array_equal(first[1].heads, second[1].heads)
+
+    def test_eval_batch_candidates(self):
+        kg = KGDataset(num_entities=500, num_triples=2000)
+        ev = kg.eval_batch(20, candidates=15)
+        assert ev.neg_tails.shape == (20, 15)
+
+    def test_invalid_clusters(self):
+        with pytest.raises(ValueError):
+            KGDataset(num_clusters=1)
+
+
+class TestGraphDataset:
+    def test_csr_is_well_formed(self):
+        graph = GraphDataset(num_nodes=500, num_classes=4)
+        assert graph.indptr.shape == (501,)
+        assert graph.indptr[0] == 0
+        assert graph.indptr[-1] == len(graph.indices)
+        assert (np.diff(graph.indptr) >= 0).all()
+        assert graph.indices.max() < 500
+
+    def test_homophily_planted(self):
+        graph = GraphDataset(num_nodes=1000, num_classes=4, intra_fraction=0.9)
+        same = 0
+        total = 0
+        for node in range(0, 1000, 7):
+            for neighbor in graph.neighbors(node):
+                same += graph.labels[node] == graph.labels[neighbor]
+                total += 1
+        assert same / total > 0.6
+
+    def test_split_disjoint_and_complete(self):
+        graph = GraphDataset(num_nodes=300)
+        train = set(graph.train_nodes.tolist())
+        valid = set(graph.valid_nodes.tolist())
+        assert not train & valid
+        assert len(train | valid) == 300
+
+    def test_seed_batches_only_from_train(self):
+        graph = GraphDataset(num_nodes=300)
+        batches = graph.seed_batches(3, 16)
+        train = set(graph.train_nodes.tolist())
+        for batch in batches:
+            assert set(batch.tolist()) <= train
+
+    def test_degree_matches_neighbors(self):
+        graph = GraphDataset(num_nodes=200)
+        for node in (0, 50, 199):
+            assert graph.degree(node) == len(graph.neighbors(node))
+
+    def test_invalid_classes(self):
+        with pytest.raises(ValueError):
+            GraphDataset(num_classes=1)
+
+
+class TestEbayGraphs:
+    def test_trisk_bipartite_structure(self):
+        graph = make_trisk_graph(num_transactions=500, num_entities=100)
+        assert graph.num_nodes == 600
+        # Transactions only connect to entity nodes.
+        for txn in range(0, 500, 23):
+            neighbors = graph.neighbors(txn)
+            assert (neighbors >= 500).all()
+
+    def test_trisk_fraud_rate(self):
+        graph = make_trisk_graph(num_transactions=1000, num_entities=200, fraud_rate=0.05)
+        assert graph.labels[:1000].sum() == 50
+        assert graph.labels[1000:].sum() == 0
+
+    def test_trisk_seeds_are_transactions(self):
+        graph = make_trisk_graph(num_transactions=500, num_entities=100)
+        assert graph.train_nodes.max() < 500
+
+    def test_payout_tripartite_structure(self):
+        graph = make_payout_graph(num_sellers=100, num_items=200, num_checkouts=300)
+        assert graph.num_nodes == 600
+        for seller in range(0, 100, 11):
+            neighbors = graph.neighbors(seller)
+            assert ((neighbors >= 100) & (neighbors < 300)).all()  # items only
+
+    def test_payout_risky_sellers_labeled(self):
+        graph = make_payout_graph(num_sellers=200, risky_rate=0.06)
+        assert graph.labels[:200].sum() == 12
+
+    def test_graphs_deterministic(self):
+        first = make_trisk_graph(seed=5)
+        second = make_trisk_graph(seed=5)
+        np.testing.assert_array_equal(first.indices, second.indices)
+        np.testing.assert_array_equal(first.labels, second.labels)
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        expected = {"Freebase86M", "WikiKG2", "Papers100M", "eBay-Payout",
+                    "eBay-Trisk", "Criteo-Terabyte", "Criteo-Ad"}
+        assert set(DATASETS) == expected
+
+    def test_table2_rows_complete(self):
+        rows = table2_rows()
+        assert len(rows) == 7
+        assert all("# Emb (paper)" in row for row in rows)
+
+    def test_factories_instantiate(self):
+        spec = DATASETS["Criteo-Ad"]
+        ds = spec.factory()
+        assert ds.num_embeddings == spec.scaled_num_embeddings

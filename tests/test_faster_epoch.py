@@ -1,0 +1,62 @@
+"""Epoch protection: drain actions only run when no thread can observe."""
+
+import threading
+
+from repro.kv.faster import EpochManager
+
+
+class TestEpochBasics:
+    def test_guard_enters_and_exits(self):
+        epochs = EpochManager()
+        with epochs.guard():
+            assert epochs.active_threads() == 1
+        assert epochs.active_threads() == 0
+
+    def test_bump_advances_epoch(self):
+        epochs = EpochManager()
+        before = epochs.current
+        epochs.bump()
+        assert epochs.current == before + 1
+
+    def test_drain_runs_immediately_when_idle(self):
+        epochs = EpochManager()
+        ran = []
+        epochs.bump(on_drain=lambda: ran.append(1))
+        assert ran == [1]
+
+    def test_drain_deferred_while_thread_active(self):
+        epochs = EpochManager()
+        ran = []
+        barrier_in = threading.Event()
+        barrier_out = threading.Event()
+
+        def pinned():
+            epochs.enter()
+            barrier_in.set()
+            barrier_out.wait(timeout=5)
+            epochs.exit()
+
+        thread = threading.Thread(target=pinned)
+        thread.start()
+        barrier_in.wait(timeout=5)
+        epochs.bump(on_drain=lambda: ran.append(1))
+        assert ran == []  # other thread still inside an older epoch
+        assert epochs.pending_actions() == 1
+        barrier_out.set()
+        thread.join()
+        assert ran == [1]  # released on that thread's exit
+        assert epochs.pending_actions() == 0
+
+    def test_multiple_actions_fifo(self):
+        epochs = EpochManager()
+        ran = []
+        epochs.bump(on_drain=lambda: ran.append("a"))
+        epochs.bump(on_drain=lambda: ran.append("b"))
+        assert ran == ["a", "b"]
+
+    def test_reentrant_usage_same_thread(self):
+        epochs = EpochManager()
+        with epochs.guard():
+            with epochs.guard():
+                pass
+        assert epochs.active_threads() == 0

@@ -1,0 +1,85 @@
+"""Hash index behaviour: chaining, growth, CAS, model conformance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kv.faster.hashindex import HashIndex
+
+
+class TestHashIndex:
+    def test_find_missing(self):
+        assert HashIndex().find(7) is None
+
+    def test_upsert_and_find(self):
+        index = HashIndex()
+        index.upsert(7, 100)
+        index.upsert(8, 200)
+        assert index.find(7) == 100
+        assert index.find(8) == 200
+
+    def test_upsert_overwrites(self):
+        index = HashIndex()
+        index.upsert(7, 100)
+        index.upsert(7, 300)
+        assert index.find(7) == 300
+        assert len(index) == 1
+
+    def test_remove(self):
+        index = HashIndex()
+        index.upsert(7, 100)
+        assert index.remove(7)
+        assert not index.remove(7)
+        assert index.find(7) is None
+
+    def test_grows_under_load(self):
+        index = HashIndex(initial_buckets=64)
+        for key in range(5000):
+            index.upsert(key, key)
+        assert index.bucket_count > 64
+        assert all(index.find(key) == key for key in range(0, 5000, 97))
+
+    def test_compare_exchange_success(self):
+        index = HashIndex()
+        index.upsert(1, 10)
+        assert index.compare_exchange(1, 10, 20)
+        assert index.find(1) == 20
+
+    def test_compare_exchange_failure_on_race(self):
+        index = HashIndex()
+        index.upsert(1, 10)
+        index.upsert(1, 15)  # concurrent update
+        assert not index.compare_exchange(1, 10, 20)
+        assert index.find(1) == 15
+
+    def test_compare_exchange_insert_when_expected_none(self):
+        index = HashIndex()
+        assert index.compare_exchange(5, None, 50)
+        assert index.find(5) == 50
+
+    def test_items_complete(self):
+        index = HashIndex()
+        entries = {key: key * 2 for key in range(100)}
+        for key, address in entries.items():
+            index.upsert(key, address)
+        assert dict(index.items()) == entries
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            HashIndex(initial_buckets=3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["put", "del"]),
+                              st.integers(0, 40), st.integers(0, 10_000))))
+    def test_matches_dict_model(self, ops):
+        index = HashIndex(initial_buckets=4)
+        model = {}
+        for op, key, address in ops:
+            if op == "put":
+                index.upsert(key, address)
+                model[key] = address
+            else:
+                assert index.remove(key) == (key in model)
+                model.pop(key, None)
+        assert dict(index.items()) == model
+        assert len(index) == len(model)

@@ -1,0 +1,95 @@
+"""The 64-bit latch word and record header encoding (paper Figure 5a)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kv.faster.record import (
+    FIRST_GENERATION,
+    RECORD_HEADER_BYTES,
+    RecordWord,
+    decode_record_header,
+    encode_record_header,
+    next_generation,
+    pack_word,
+    unpack_word,
+)
+
+_GEN_MAX = (1 << 30) - 1
+_STALE_MAX = (1 << 32) - 1
+
+
+class TestWordPacking:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.booleans(), st.booleans(),
+        st.integers(0, _GEN_MAX), st.integers(0, _STALE_MAX),
+    )
+    def test_pack_unpack_roundtrip(self, locked, replaced, generation, staleness):
+        word = pack_word(locked, replaced, generation, staleness)
+        assert unpack_word(word) == (locked, replaced, generation, staleness)
+        assert 0 <= word < 1 << 64
+
+    def test_field_layout_matches_figure_5a(self):
+        # locked bit 63, replaced bit 62, generation bits 32..61, staleness low 32.
+        assert pack_word(True, False, 0, 0) == 1 << 63
+        assert pack_word(False, True, 0, 0) == 1 << 62
+        assert pack_word(False, False, 1, 0) == 1 << 32
+        assert pack_word(False, False, 0, 1) == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_word(False, False, _GEN_MAX + 1, 0)
+        with pytest.raises(ValueError):
+            pack_word(False, False, 0, _STALE_MAX + 1)
+
+    def test_generation_wraps_past_padding_value(self):
+        assert next_generation(_GEN_MAX) == FIRST_GENERATION
+        assert next_generation(1) == 2
+        assert next_generation(0) == 1
+
+
+class TestRecordHeader:
+    def test_roundtrip(self):
+        header = encode_record_header(pack_word(False, False, 1, 3), 99, 16)
+        word, key, value_len = decode_record_header(header)
+        assert unpack_word(word) == (False, False, 1, 3)
+        assert (key, value_len) == (99, 16)
+        assert len(header) == RECORD_HEADER_BYTES
+
+
+class TestRecordWord:
+    def _word_in_page(self, initial: int) -> RecordWord:
+        page = bytearray(64)
+        handle = RecordWord(page, 8)
+        handle.store(initial)
+        return handle
+
+    def test_load_store(self):
+        handle = self._word_in_page(12345)
+        assert handle.load() == 12345
+
+    def test_cas_succeeds_on_match(self):
+        handle = self._word_in_page(10)
+        assert handle.compare_and_swap(10, 20)
+        assert handle.load() == 20
+
+    def test_cas_fails_on_mismatch(self):
+        handle = self._word_in_page(10)
+        assert not handle.compare_and_swap(11, 20)
+        assert handle.load() == 10
+
+    def test_set_replaced_bumps_generation(self):
+        handle = self._word_in_page(pack_word(False, False, 5, 7))
+        handle.set_replaced()
+        locked, replaced, generation, staleness = handle.fields()
+        assert replaced and not locked
+        assert generation == 6
+        assert staleness == 7
+
+    def test_two_handles_share_the_same_bytes(self):
+        page = bytearray(64)
+        first = RecordWord(page, 0)
+        second = RecordWord(page, 0)
+        first.store(7)
+        assert second.load() == 7

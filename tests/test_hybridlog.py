@@ -1,0 +1,192 @@
+"""Hybrid log: regions, padding, eviction, in-place updates, prefetch."""
+
+import os
+
+import pytest
+
+from repro.device import SimClock, SSDModel
+from repro.errors import StorageError
+from repro.kv.faster.hybridlog import TOMBSTONE_LEN, HybridLog
+from repro.kv.faster.record import pack_word, unpack_word
+
+
+def make_log(tmp_path, pages=4, page_bytes=1024, mutable_fraction=0.9):
+    ssd = SSDModel(SimClock())
+    log = HybridLog(
+        str(tmp_path / "log.bin"), ssd,
+        memory_budget_bytes=pages * page_bytes,
+        page_bytes=page_bytes,
+        mutable_fraction=mutable_fraction,
+    )
+    return log, ssd
+
+
+WORD = pack_word(False, False, 1, 0)
+
+
+class TestAppendRead:
+    def test_roundtrip(self, tmp_path):
+        log, _ = make_log(tmp_path)
+        address = log.append(1, b"value", WORD)
+        word, key, value, in_memory = log.read_record(address)
+        assert (key, value, in_memory) == (1, b"value", True)
+        assert unpack_word(word)[2] == 1
+
+    def test_addresses_monotonic(self, tmp_path):
+        log, _ = make_log(tmp_path)
+        first = log.append(1, b"a", WORD)
+        second = log.append(2, b"b", WORD)
+        assert second > first
+
+    def test_record_never_straddles_pages(self, tmp_path):
+        log, _ = make_log(tmp_path, page_bytes=128)
+        addresses = [log.append(i, bytes(40), WORD) for i in range(10)]
+        for address in addresses:
+            assert address % 128 + 20 + 40 <= 128
+
+    def test_oversized_record_rejected(self, tmp_path):
+        log, _ = make_log(tmp_path, page_bytes=128)
+        with pytest.raises(StorageError):
+            log.append(1, bytes(200), WORD)
+
+    def test_read_beyond_tail_rejected(self, tmp_path):
+        log, _ = make_log(tmp_path)
+        with pytest.raises(StorageError):
+            log.read_record(10_000)
+
+    def test_tombstone_roundtrip(self, tmp_path):
+        log, _ = make_log(tmp_path)
+        address = log.append_tombstone(9, WORD)
+        _, key, value, _ = log.read_record(address)
+        assert key == 9 and value is None
+
+
+class TestRegions:
+    def test_read_only_boundary_advances(self, tmp_path):
+        log, _ = make_log(tmp_path, pages=8, page_bytes=256, mutable_fraction=0.25)
+        for i in range(40):
+            log.append(i, bytes(50), WORD)
+        assert log.read_only_address > 0
+        assert log.read_only_address <= log.tail_address
+
+    def test_eviction_moves_head_and_flushes(self, tmp_path):
+        log, ssd = make_log(tmp_path, pages=2, page_bytes=256)
+        for i in range(30):
+            log.append(i, bytes(50), WORD)
+        assert log.head_address > 0
+        assert ssd.writes > 0
+        assert log.memory_bytes_used() <= 2 * 256
+
+    def test_evicted_records_read_from_disk(self, tmp_path):
+        log, ssd = make_log(tmp_path, pages=2, page_bytes=256)
+        first = log.append(0, bytes([7]) * 50, WORD)
+        for i in range(1, 30):
+            log.append(i, bytes(50), WORD)
+        assert not log.in_memory(first)
+        reads_before = ssd.reads
+        word, key, value, in_memory = log.read_record(first)
+        assert key == 0 and value == bytes([7]) * 50
+        assert not in_memory
+        assert ssd.reads == reads_before + 1
+
+    def test_in_memory_and_in_mutable_classification(self, tmp_path):
+        log, _ = make_log(tmp_path, pages=2, page_bytes=256, mutable_fraction=0.5)
+        addresses = [log.append(i, bytes(50), WORD) for i in range(30)]
+        assert log.in_memory(addresses[-1])
+        assert log.in_mutable(addresses[-1])
+        assert not log.in_memory(addresses[0])
+        assert not log.in_mutable(addresses[0])
+
+
+class TestInPlaceUpdate:
+    def test_value_overwritten(self, tmp_path):
+        log, _ = make_log(tmp_path)
+        address = log.append(1, b"aaaa", WORD)
+        log.write_value_in_place(address, b"bbbb")
+        assert log.read_record(address)[2] == b"bbbb"
+
+    def test_length_change_rejected(self, tmp_path):
+        log, _ = make_log(tmp_path)
+        address = log.append(1, b"aaaa", WORD)
+        with pytest.raises(StorageError):
+            log.write_value_in_place(address, b"toolong")
+
+    def test_outside_mutable_region_rejected(self, tmp_path):
+        log, _ = make_log(tmp_path, pages=2, page_bytes=256)
+        address = log.append(0, bytes(50), WORD)
+        for i in range(1, 30):
+            log.append(i, bytes(50), WORD)
+        with pytest.raises(StorageError):
+            log.write_value_in_place(address, bytes(50))
+
+    def test_record_word_handle_mutates_in_page(self, tmp_path):
+        log, _ = make_log(tmp_path)
+        address = log.append(1, b"v", WORD)
+        handle = log.record_word(address)
+        handle.store(pack_word(True, False, 2, 5))
+        assert unpack_word(log.read_record(address)[0]) == (True, False, 2, 5)
+
+
+class TestPrefetch:
+    def test_prefetch_read_returns_record(self, tmp_path):
+        log, ssd = make_log(tmp_path, pages=2, page_bytes=256)
+        first = log.append(0, bytes([9]) * 50, WORD)
+        for i in range(1, 30):
+            log.append(i, bytes(50), WORD)
+        clock_before = ssd.clock.now
+        word, key, value = log.prefetch_read(first)
+        assert key == 0 and value == bytes([9]) * 50
+        assert ssd.clock.now == clock_before  # background charge only
+
+    def test_charge_prefetch_pages_dedupes(self, tmp_path):
+        log, ssd = make_log(tmp_path, page_bytes=256)
+        # Addresses sharing a 4 KiB device block are charged once.
+        from repro.device.ssd import PAGE_BYTES
+
+        blocks = log.charge_prefetch_pages([0, 100, PAGE_BYTES + 5])
+        assert blocks == 2
+        assert ssd.bytes_read == 2 * PAGE_BYTES
+
+    def test_charge_prefetch_pages_empty(self, tmp_path):
+        log, ssd = make_log(tmp_path)
+        assert log.charge_prefetch_pages([]) == 0
+
+
+class TestScanAndLifecycle:
+    def test_scan_addresses_skips_padding(self, tmp_path):
+        log, _ = make_log(tmp_path, page_bytes=128)
+        expected = []
+        for i in range(10):
+            log.append(i, bytes(40), WORD)
+            expected.append(i)
+        keys = [key for _, _, key, _ in log.scan_addresses()]
+        assert keys == expected
+
+    def test_scan_includes_tombstones(self, tmp_path):
+        log, _ = make_log(tmp_path)
+        log.append(1, b"x", WORD)
+        log.append_tombstone(1, WORD)
+        entries = list(log.scan_addresses())
+        assert entries[-1][3] == TOMBSTONE_LEN
+
+    def test_flush_all_persists_every_page(self, tmp_path):
+        log, _ = make_log(tmp_path, page_bytes=256)
+        for i in range(5):
+            log.append(i, bytes(30), WORD)
+        log.flush_all()
+        assert os.path.getsize(log.path) >= log.tail_address
+
+    def test_closed_log_rejects_operations(self, tmp_path):
+        log, _ = make_log(tmp_path)
+        log.close()
+        with pytest.raises(StorageError):
+            log.append(1, b"x", WORD)
+
+    def test_invalid_configuration(self, tmp_path):
+        ssd = SSDModel(SimClock())
+        with pytest.raises(ValueError):
+            HybridLog(str(tmp_path / "a"), ssd, memory_budget_bytes=16, page_bytes=64)
+        with pytest.raises(ValueError):
+            HybridLog(str(tmp_path / "b"), ssd, page_bytes=8)
+        with pytest.raises(ValueError):
+            HybridLog(str(tmp_path / "c"), ssd, mutable_fraction=0.0)

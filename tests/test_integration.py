@@ -1,0 +1,151 @@
+"""End-to-end integration: the paper's qualitative claims at test scale.
+
+Each test trains a small model through the full stack (data generator →
+trainer pipeline → MLKV/baseline store → metrics) and asserts the
+*direction* of an effect the paper reports — learning works, staleness
+hurts quality, bounds restore it, lookahead cuts blocking reads, and the
+backend ordering of Figure 7 holds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import build_stack, run_dlrm, run_gnn, run_kge
+from repro.core.staleness import ASP_BOUND
+from repro.data import CTRDataset, GraphDataset, KGDataset, make_trisk_graph
+from repro.errors import StorageError
+from repro.train import TrainerConfig
+
+
+@pytest.fixture(scope="module")
+def ctr_dataset():
+    return CTRDataset(num_fields=4, field_cardinality=500, seed=0)
+
+
+class TestLearning:
+    def test_dlrm_auc_improves(self, ctr_dataset, tmp_path):
+        stack = build_stack("mlkv", dim=8, memory_budget_bytes=1 << 21,
+                            workdir=str(tmp_path))
+        config = TrainerConfig(batch_size=64, emb_lr=0.1, eval_size=600)
+        result = run_dlrm(stack, ctr_dataset, dim=8, num_batches=80, config=config)
+        assert result.final_metric > 0.75
+        stack.close()
+
+    def test_kge_hits_improve(self, tmp_path):
+        dataset = KGDataset(num_entities=2000, num_triples=20000, num_relations=5, seed=0)
+        stack = build_stack("mlkv", dim=16, memory_budget_bytes=1 << 21,
+                            workdir=str(tmp_path))
+        config = TrainerConfig(batch_size=128, emb_lr=0.5, eval_size=300)
+        result = run_kge(stack, dataset, dim=16, num_batches=250, config=config)
+        assert result.final_metric > 0.35  # chance ≈ 0.2 with 50 candidates
+        stack.close()
+
+    def test_gnn_accuracy_improves(self, tmp_path):
+        graph = GraphDataset(num_nodes=1500, num_classes=5, seed=0)
+        stack = build_stack("mlkv", dim=16, memory_budget_bytes=1 << 21,
+                            workdir=str(tmp_path))
+        config = TrainerConfig(batch_size=48, emb_lr=0.3, eval_size=300)
+        result = run_gnn(stack, graph, dim=16, num_batches=80, config=config)
+        assert result.final_metric > 0.7  # chance = 0.2
+        stack.close()
+
+    def test_ebay_trisk_auc_above_chance(self, tmp_path):
+        graph = make_trisk_graph(num_transactions=1500, num_entities=400, seed=3)
+        stack = build_stack("mlkv", dim=16, memory_budget_bytes=1 << 21,
+                            workdir=str(tmp_path))
+        config = TrainerConfig(batch_size=48, emb_lr=0.3, eval_size=300)
+        result = run_gnn(stack, graph, dim=16, num_batches=60, metric="auc", config=config)
+        assert result.final_metric > 0.6
+        stack.close()
+
+
+class TestStalenessEffects:
+    """Figure 2 / Figure 8 directions."""
+
+    def _train(self, dataset, bound, depth, tmp_path, tag):
+        stack = build_stack("mlkv", dim=8, memory_budget_bytes=1 << 21,
+                            staleness_bound=bound, cache_entries=1024,
+                            workdir=str(tmp_path / tag))
+        config = TrainerConfig(batch_size=64, pipeline_depth=depth,
+                               emb_lr=0.15, eval_size=800)
+        result = run_dlrm(stack, dataset, dim=8, num_batches=120, config=config)
+        stack.close()
+        return result
+
+    def test_full_async_degrades_quality(self, ctr_dataset, tmp_path):
+        sync = self._train(ctr_dataset, bound=0, depth=0, tmp_path=tmp_path, tag="sync")
+        async_ = self._train(ctr_dataset, bound=ASP_BOUND, depth=48,
+                             tmp_path=tmp_path, tag="async")
+        assert sync.final_metric > async_.final_metric + 0.005
+
+    def test_bound_restores_quality_under_deep_pipeline(self, ctr_dataset, tmp_path):
+        bounded = self._train(ctr_dataset, bound=1, depth=48, tmp_path=tmp_path, tag="ssp")
+        unbounded = self._train(ctr_dataset, bound=ASP_BOUND, depth=48,
+                                tmp_path=tmp_path, tag="asp")
+        assert bounded.final_metric > unbounded.final_metric
+        assert bounded.stall_events > 0
+
+    def test_sync_training_stalls_more(self, ctr_dataset, tmp_path):
+        sync = self._train(ctr_dataset, bound=0, depth=0, tmp_path=tmp_path, tag="s2")
+        async_ = self._train(ctr_dataset, bound=ASP_BOUND, depth=48,
+                             tmp_path=tmp_path, tag="a2")
+        assert sync.sim_seconds >= async_.sim_seconds
+
+
+class TestOutOfCore:
+    """Figure 7 direction at test scale."""
+
+    @pytest.fixture(scope="class")
+    def big_dataset(self):
+        return CTRDataset(num_fields=8, field_cardinality=3500, seed=0)
+
+    def _throughput(self, backend, dataset, tmp_path, tag):
+        stack = build_stack(backend, dim=16, memory_budget_bytes=1 << 18,
+                            staleness_bound=4, cache_entries=16384,
+                            workdir=str(tmp_path / tag))
+        config = TrainerConfig(
+            batch_size=128, pipeline_depth=2, emb_lr=0.1,
+            lookahead_distance=16 if backend == "mlkv" else 0,
+            conventional_window=2,
+        )
+        result = run_dlrm(stack, dataset, dim=16, num_batches=40, config=config)
+        stack.close()
+        return result.throughput
+
+    def test_mlkv_beats_plain_faster_offloading(self, big_dataset, tmp_path):
+        mlkv = self._throughput("mlkv", big_dataset, tmp_path, "m")
+        faster = self._throughput("faster", big_dataset, tmp_path, "f")
+        assert mlkv > faster
+
+    def test_mlkv_beats_lsm_and_btree(self, big_dataset, tmp_path):
+        mlkv = self._throughput("mlkv", big_dataset, tmp_path, "m2")
+        lsm = self._throughput("lsm", big_dataset, tmp_path, "l")
+        btree = self._throughput("btree", big_dataset, tmp_path, "b")
+        assert mlkv > lsm
+        assert mlkv > btree
+
+    def test_native_oom_on_larger_than_memory(self, big_dataset, tmp_path):
+        stack = build_stack("native", dim=16, memory_budget_bytes=1 << 16,
+                            workdir=str(tmp_path / "n"))
+        stack.store.memory_budget_bytes = 1 << 16  # small budget
+        config = TrainerConfig(batch_size=128, emb_lr=0.1)
+        with pytest.raises(StorageError):
+            run_dlrm(stack, big_dataset, dim=16, num_batches=20, config=config)
+        stack.close()
+
+
+class TestLookaheadEffect:
+    """Figure 9 direction: lookahead reduces blocking disk reads."""
+
+    def test_lookahead_improves_out_of_core_throughput(self, tmp_path):
+        dataset = CTRDataset(num_fields=8, field_cardinality=2500, seed=0)
+        results = {}
+        for tag, distance in (("off", 0), ("on", 16)):
+            stack = build_stack("mlkv", dim=16, memory_budget_bytes=1 << 19,
+                                staleness_bound=2, cache_entries=8192,
+                                workdir=str(tmp_path / tag))
+            config = TrainerConfig(batch_size=128, pipeline_depth=2, emb_lr=0.1,
+                                   lookahead_distance=distance, conventional_window=2)
+            results[tag] = run_dlrm(stack, dataset, dim=16, num_batches=40, config=config)
+            stack.close()
+        assert results["on"].throughput > results["off"].throughput

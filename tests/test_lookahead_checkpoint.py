@@ -1,0 +1,109 @@
+"""LookaheadEngine windows and cloud checkpointing."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import CloudCheckpointer, EmbeddingTables, LookaheadEngine, MLKV
+from repro.core.staleness import ASP_BOUND
+from repro.errors import CheckpointError
+from repro.kv.faster import FasterKV
+
+
+@pytest.fixture
+def tables(tmp_path):
+    store = MLKV(str(tmp_path / "s"), staleness_bound=ASP_BOUND,
+                 memory_budget_bytes=1 << 18, page_bytes=1 << 12)
+    tables = EmbeddingTables(store, dim=4, cache_entries=256)
+    # Materialize keys 0..199.
+    tables.put(np.arange(200), np.zeros((200, 4), dtype=np.float32))
+    yield tables
+    store.close()
+
+
+class TestLookaheadEngine:
+    def _schedule(self, n=10, width=8):
+        return [np.arange(i * width, (i + 1) * width) for i in range(n)]
+
+    def test_cache_window_prefetches_ahead(self, tables):
+        engine = LookaheadEngine(tables, self._schedule(), distance=0, conventional_window=2)
+        counters = engine.advance(0)
+        assert counters["cache"] == 16  # batches 1 and 2
+        for key in range(8, 24):
+            assert key in tables.cache
+
+    def test_cursor_never_refetches(self, tables):
+        engine = LookaheadEngine(tables, self._schedule(), conventional_window=2)
+        engine.advance(0)
+        assert engine.advance(1)["cache"] == 8  # only batch 3 is new
+
+    def test_window_clamps_at_schedule_end(self, tables):
+        engine = LookaheadEngine(tables, self._schedule(3), conventional_window=10)
+        counters = engine.advance(0)
+        assert counters["cache"] == 16  # only batches 1, 2 exist
+
+    def test_buffer_window_independent(self, tables):
+        engine = LookaheadEngine(tables, self._schedule(), distance=5, conventional_window=1)
+        counters = engine.advance(0)
+        assert counters["cache"] == 8
+        # Buffer staging counts only disk-resident records (may be zero here).
+        assert counters["buffer"] >= 0
+
+    def test_zero_windows_noop(self, tables):
+        engine = LookaheadEngine(tables, self._schedule())
+        assert engine.advance(0) == {"buffer": 0, "cache": 0}
+
+    def test_negative_windows_rejected(self, tables):
+        with pytest.raises(ValueError):
+            LookaheadEngine(tables, [], distance=-1)
+
+
+class TestCloudCheckpointer:
+    def test_checkpoint_uploads_objects(self, tmp_path):
+        store = FasterKV(str(tmp_path / "local"))
+        store.put(1, b"payload")
+        cloud = str(tmp_path / "bucket")
+        checkpointer = CloudCheckpointer(store, cloud)
+        checkpointer.checkpoint()
+        assert checkpointer.uploads == 1
+        assert os.listdir(cloud)
+        assert store.clock.busy_seconds("network") > 0
+        store.close()
+
+    def test_restore_roundtrip(self, tmp_path):
+        store = FasterKV(str(tmp_path / "local"))
+        for i in range(50):
+            store.put(i, bytes([i]) * 8)
+        checkpointer = CloudCheckpointer(store, str(tmp_path / "bucket"))
+        checkpointer.checkpoint()
+        store.close()
+
+        restore_dir = str(tmp_path / "restored")
+        checkpointer.restore_to(restore_dir)
+        recovered = FasterKV.recover(restore_dir)
+        assert recovered.get(42) == bytes([42]) * 8
+        recovered.close()
+
+    def test_cadence(self, tmp_path):
+        store = FasterKV(str(tmp_path / "local"))
+        store.put(1, b"x")
+        checkpointer = CloudCheckpointer(store, str(tmp_path / "bucket"), every_n_steps=10)
+        assert not checkpointer.maybe_checkpoint(0)
+        assert not checkpointer.maybe_checkpoint(5)
+        assert checkpointer.maybe_checkpoint(10)
+        assert checkpointer.uploads == 1
+        store.close()
+
+    def test_restore_requires_objects(self, tmp_path):
+        store = FasterKV(str(tmp_path / "local"))
+        checkpointer = CloudCheckpointer(store, str(tmp_path / "empty"))
+        with pytest.raises(CheckpointError):
+            checkpointer.restore_to(str(tmp_path / "out"))
+        store.close()
+
+    def test_invalid_bandwidth(self, tmp_path):
+        store = FasterKV(str(tmp_path / "local"))
+        with pytest.raises(CheckpointError):
+            CloudCheckpointer(store, str(tmp_path / "b"), upload_bandwidth=0)
+        store.close()

@@ -1,0 +1,76 @@
+"""BETA partition ordering and the DDP analytic reference."""
+
+import numpy as np
+import pytest
+
+from repro.train import DDPReference, beta_order, partition_of
+from repro.train.partition import swap_count
+
+
+class TestPartitionOf:
+    def test_ranges(self):
+        parts = partition_of(np.array([0, 24, 25, 99]), num_entities=100, num_partitions=4)
+        np.testing.assert_array_equal(parts, [0, 0, 1, 3])
+
+    def test_all_within_bounds(self):
+        ids = np.arange(997)
+        parts = partition_of(ids, num_entities=997, num_partitions=8)
+        assert parts.min() >= 0 and parts.max() < 8
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            partition_of(np.array([0]), 10, 0)
+
+
+class TestBetaOrder:
+    def _random_triples(self, n=4000, entities=1000, seed=0):
+        rng = np.random.default_rng(seed)
+        return np.stack([
+            rng.integers(0, entities, n),
+            rng.integers(0, 5, n),
+            rng.integers(0, entities, n),
+        ], axis=1)
+
+    def test_preserves_multiset(self):
+        triples = self._random_triples()
+        ordered = beta_order(triples, num_entities=1000, num_partitions=8)
+        assert sorted(map(tuple, ordered)) == sorted(map(tuple, triples))
+
+    def test_reduces_partition_faults(self):
+        triples = self._random_triples()
+        ordered = beta_order(triples, num_entities=1000, num_partitions=8)
+        random_faults = swap_count(triples, 1000, 8, buffer_partitions=2)
+        beta_faults = swap_count(ordered, 1000, 8, buffer_partitions=2)
+        assert beta_faults < random_faults / 5
+
+    def test_pairs_contiguous(self):
+        triples = self._random_triples(n=500)
+        ordered = beta_order(triples, num_entities=1000, num_partitions=4)
+        heads = partition_of(ordered[:, 0], 1000, 4)
+        tails = partition_of(ordered[:, 2], 1000, 4)
+        pair_ids = heads * 4 + tails
+        changes = (np.diff(pair_ids) != 0).sum()
+        assert changes <= 16  # at most one run per pair
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            beta_order(np.zeros((3, 2), dtype=np.int64), 10)
+
+
+class TestDDPReference:
+    def test_throughput_positive(self):
+        assert DDPReference().throughput(1024) > 0
+
+    def test_more_workers_more_throughput(self):
+        two = DDPReference(workers=2).throughput(2048)
+        four = DDPReference(workers=4).throughput(2048)
+        assert four > two
+
+    def test_network_slows_small_batches(self):
+        fast_net = DDPReference(network_latency=1e-6).throughput(64)
+        slow_net = DDPReference(network_latency=10e-3).throughput(64)
+        assert fast_net > slow_net
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            DDPReference().throughput(0)

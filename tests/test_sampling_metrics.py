@@ -1,0 +1,134 @@
+"""Neighbor/negative samplers and evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.data import GraphDataset, NegativeSampler, NeighborSampler
+from repro.train import accuracy, auc, hits_at_k
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return GraphDataset(num_nodes=400, num_classes=4, seed=1)
+
+
+class TestNeighborSampler:
+    def test_block_structure(self, graph):
+        sampler = NeighborSampler(graph, fanouts=(3, 3), mode="mean", seed=0)
+        seeds = graph.train_nodes[:8]
+        blocks = sampler.sample(seeds)
+        assert len(blocks.frontiers) == 2
+        assert len(blocks.structures) == 2
+        np.testing.assert_array_equal(blocks.seeds, seeds)
+        # Innermost frontier classifies exactly the seeds.
+        assert blocks.structures[-1].shape[0] == len(seeds)
+
+    def test_mean_matrices_row_normalized(self, graph):
+        sampler = NeighborSampler(graph, fanouts=(3, 3), mode="mean", seed=0)
+        blocks = sampler.sample(graph.train_nodes[:8])
+        for structure in blocks.structures:
+            np.testing.assert_allclose(structure.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_mask_mode_boolean(self, graph):
+        sampler = NeighborSampler(graph, fanouts=(3, 3), mode="mask", seed=0)
+        blocks = sampler.sample(graph.train_nodes[:8])
+        for structure in blocks.structures:
+            assert structure.dtype == bool
+            assert structure.any(axis=1).all()  # every dst has ≥1 source
+
+    def test_frontier_indices_valid(self, graph):
+        sampler = NeighborSampler(graph, fanouts=(4, 4), mode="mean", seed=0)
+        blocks = sampler.sample(graph.train_nodes[:6])
+        sizes = [len(blocks.input_nodes)]
+        for dst_index, structure in zip(blocks.frontiers, blocks.structures):
+            assert dst_index.max() < sizes[-1]
+            assert structure.shape == (len(dst_index), sizes[-1])
+            sizes.append(len(dst_index))
+        assert sizes[-1] == 6
+
+    def test_fanout_limits_edges(self, graph):
+        sampler = NeighborSampler(graph, fanouts=(2,), mode="mean", seed=0)
+        blocks = sampler.sample(graph.train_nodes[:10])
+        edges_per_dst = (blocks.structures[0] > 0).sum(axis=1)
+        assert (edges_per_dst <= 2 + 1).all()  # +1 self fallback
+
+    def test_invalid_mode(self, graph):
+        with pytest.raises(ValueError):
+            NeighborSampler(graph, mode="sum")
+
+
+class TestNegativeSampler:
+    def test_shape_and_range(self):
+        sampler = NegativeSampler(num_entities=50, negatives=7, seed=0)
+        negs = sampler.sample(16)
+        assert negs.shape == (16, 7)
+        assert negs.min() >= 0 and negs.max() < 50
+
+    def test_invalid_entities(self):
+        with pytest.raises(ValueError):
+            NegativeSampler(num_entities=1)
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        assert auc(np.array([0, 0, 1, 1]), np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_inverted_is_zero(self):
+        assert auc(np.array([1, 1, 0, 0]), np.array([0.1, 0.2, 0.8, 0.9])) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 10_000)
+        scores = rng.random(10_000)
+        assert auc(labels, scores) == pytest.approx(0.5, abs=0.02)
+
+    def test_ties_use_midranks(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert auc(labels, scores) == pytest.approx(0.5)
+
+    def test_degenerate_labels_return_half(self):
+        assert auc(np.ones(5), np.random.default_rng(0).random(5)) == 0.5
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, 200)
+        scores = rng.random(200)
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        pairwise = np.mean([
+            1.0 if p > n else 0.5 if p == n else 0.0
+            for p in pos for n in neg
+        ])
+        assert auc(labels, scores) == pytest.approx(pairwise, abs=1e-9)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            auc(np.zeros(3), np.zeros(4))
+
+
+class TestAccuracyAndHits:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 0])) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_hits_at_k_boundaries(self):
+        pos = np.array([5.0, 0.0])
+        candidates = np.array([
+            [1.0, 2.0, 3.0],   # 0 higher → rank 0 → hit
+            [1.0, 2.0, 3.0],   # 3 higher → rank 3 → miss for k=3? higher<3 false
+        ])
+        assert hits_at_k(pos, candidates, k=3) == pytest.approx(0.5)
+        assert hits_at_k(pos, candidates, k=4) == pytest.approx(1.0)
+
+    def test_hits_optimistic_on_ties(self):
+        pos = np.array([1.0])
+        candidates = np.array([[1.0, 1.0, 1.0]])
+        assert hits_at_k(pos, candidates, k=1) == 1.0
+
+    def test_hits_shape_validation(self):
+        with pytest.raises(ValueError):
+            hits_at_k(np.zeros(3), np.zeros((4, 2)))

@@ -1,0 +1,190 @@
+"""Autograd engine: every op gradient-checked against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.functional import concat, logsigmoid, softmax, stack
+
+
+def numeric_grad(fn, arrays, index, eps=1e-3):
+    """Central-difference gradient of scalar ``fn`` w.r.t. ``arrays[index]``."""
+    target = arrays[index]
+    grad = np.zeros_like(target)
+    it = np.nditer(target, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = target[idx]
+        target[idx] = original + eps
+        plus = fn(*arrays)
+        target[idx] = original - eps
+        minus = fn(*arrays)
+        target[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradients(build, *shapes, seed=0, atol=5e-2):
+    """``build(*tensors) -> scalar Tensor``; checks every input's gradient."""
+    rng = np.random.default_rng(seed)
+    arrays = [rng.normal(0.2, 0.8, shape).astype(np.float32) for shape in shapes]
+
+    def scalar(*arrs):
+        tensors = [Tensor(a, requires_grad=True) for a in arrs]
+        return float(build(*tensors).item())
+
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    out = build(*tensors)
+    out.backward()
+    for i, tensor in enumerate(tensors):
+        expected = numeric_grad(scalar, [a.copy() for a in arrays], i)
+        assert tensor.grad is not None, f"input {i} missing grad"
+        np.testing.assert_allclose(tensor.grad, expected, atol=atol,
+                                   err_msg=f"input {i} gradient mismatch")
+
+
+class TestGradcheck:
+    def test_add(self):
+        check_gradients(lambda a, b: (a + b).sum(), (3, 4), (3, 4))
+
+    def test_add_broadcast_bias(self):
+        check_gradients(lambda a, b: (a + b).sum(), (3, 4), (4,))
+
+    def test_mul(self):
+        check_gradients(lambda a, b: (a * b).sum(), (3, 4), (3, 4))
+
+    def test_mul_broadcast(self):
+        check_gradients(lambda a, b: (a * b).sum(), (3, 1, 4), (2, 4))
+
+    def test_div(self):
+        check_gradients(lambda a, b: (a / (b * b + 1.0)).sum(), (3,), (3,))
+
+    def test_sub_neg(self):
+        check_gradients(lambda a, b: (a - b).sum() + (-a).sum(), (4,), (4,))
+
+    def test_pow(self):
+        check_gradients(lambda a: ((a * a + 1.0) ** 1.5).sum(), (5,))
+
+    def test_matmul(self):
+        check_gradients(lambda a, b: (a @ b).sum(), (3, 4), (4, 2))
+
+    def test_batched_matmul(self):
+        check_gradients(lambda a, b: (a @ b).sum(), (2, 3, 4), (2, 4, 2))
+
+    def test_reshape_transpose(self):
+        check_gradients(lambda a: (a.reshape(6, 2).T * 2.0).sum(), (3, 4))
+
+    def test_getitem_int_array(self):
+        index = np.array([0, 2, 2, 1])
+
+        def build(a):
+            return (a[index] * a[index]).sum()
+
+        check_gradients(build, (3, 4))
+
+    def test_getitem_slices(self):
+        check_gradients(lambda a: (a[..., :2] * 3.0).sum() + a[..., 2:].sum(), (3, 4))
+
+    def test_sum_axis_keepdims(self):
+        check_gradients(lambda a: (a.sum(axis=1, keepdims=True) * a).sum(), (3, 4))
+
+    def test_mean(self):
+        check_gradients(lambda a: a.mean(axis=0).sum() * 2.0, (4, 3))
+
+    def test_max(self):
+        # Avoid ties for a well-defined numeric gradient.
+        rng = np.random.default_rng(1)
+        data = rng.permutation(24).reshape(4, 6).astype(np.float32)
+
+        def scalar(arr):
+            return float(Tensor(arr, requires_grad=True).max(axis=1).sum().item())
+
+        tensor = Tensor(data, requires_grad=True)
+        tensor.max(axis=1).sum().backward()
+        expected = numeric_grad(lambda a: scalar(a), [data.copy()], 0)
+        np.testing.assert_allclose(tensor.grad, expected, atol=5e-2)
+
+    def test_relu(self):
+        check_gradients(lambda a: (a.relu() * 2.0).sum(), (4, 4))
+
+    def test_leaky_relu(self):
+        check_gradients(lambda a: a.leaky_relu(0.1).sum(), (4, 4))
+
+    def test_sigmoid_tanh_exp_log(self):
+        check_gradients(lambda a: (a.sigmoid() + a.tanh() + a.exp()).sum(), (3, 3))
+        check_gradients(lambda a: ((a * a) + 1.0).log().sum(), (3,))
+
+    def test_concat(self):
+        check_gradients(lambda a, b: (concat([a, b], axis=1) ** 2.0).sum(), (2, 3), (2, 2))
+
+    def test_stack(self):
+        check_gradients(lambda a, b: (stack([a, b], axis=0) * 2.0).sum(), (2, 3), (2, 3))
+
+    def test_softmax(self):
+        check_gradients(lambda a: (softmax(a, axis=1) * np.arange(4)).sum(), (3, 4))
+
+    def test_masked_softmax(self):
+        mask = np.array([[True, True, False, True]] * 3)
+        check_gradients(
+            lambda a: (softmax(a, axis=1, mask=mask) * np.arange(4)).sum(), (3, 4)
+        )
+
+    def test_logsigmoid(self):
+        check_gradients(lambda a: logsigmoid(a).sum(), (5,))
+
+
+class TestAutogradMechanics:
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        ((x * 2.0).sum() + (x * 3.0).sum()).backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 5.0))
+
+    def test_diamond_graph_single_backward_per_node(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0
+        z = (y * y).sum()  # z = 9x² → dz/dx = 18x = 36
+        z.backward()
+        np.testing.assert_allclose(x.grad, [36.0])
+
+    def test_detach_stops_gradient(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x.detach() * x).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(3))  # only one path
+
+    def test_no_grad_tensors_stay_clean(self):
+        x = Tensor(np.ones(3))
+        y = Tensor(np.ones(3), requires_grad=True)
+        (x * y).sum().backward()
+        assert x.grad is None
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(3)).backward()
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_float32_everywhere(self):
+        x = Tensor([1, 2, 3], requires_grad=True)
+        out = (x * 2.5).sum()
+        out.backward()
+        assert x.data.dtype == np.float32
+        assert x.grad.dtype == np.float32
+
+    def test_masked_softmax_zeroes_masked_positions(self):
+        mask = np.array([[True, False, True]])
+        probs = softmax(Tensor(np.zeros((1, 3))), axis=1, mask=mask).numpy()
+        assert probs[0, 1] == pytest.approx(0.0, abs=1e-6)
+        assert probs.sum() == pytest.approx(1.0, abs=1e-5)
+
+    def test_deep_chain_does_not_recurse(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        out = x
+        for _ in range(3000):  # would blow the recursion limit if recursive
+            out = out + 1.0
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])

@@ -1,0 +1,97 @@
+"""YCSB workload generation: distributions, op mix, hot mass."""
+
+import numpy as np
+import pytest
+
+from repro.data import UniformGenerator, YCSBWorkload, ZipfianGenerator
+from repro.data.ycsb import fnv1a_64
+
+
+class TestFNV:
+    def test_deterministic(self):
+        assert fnv1a_64(12345) == fnv1a_64(12345)
+
+    def test_distinct_inputs_differ(self):
+        outputs = {fnv1a_64(i) for i in range(1000)}
+        assert len(outputs) == 1000
+
+    def test_64_bit_range(self):
+        assert 0 <= fnv1a_64(2**62) < 2**64
+
+
+class TestUniformGenerator:
+    def test_keys_in_range(self):
+        gen = UniformGenerator(100, seed=1)
+        keys = [gen.next_key() for _ in range(500)]
+        assert min(keys) >= 0 and max(keys) < 100
+
+    def test_roughly_uniform(self):
+        gen = UniformGenerator(10, seed=1)
+        counts = np.bincount(gen.batch(10_000), minlength=10)
+        assert counts.min() > 700
+
+    def test_hot_mass_tiny(self):
+        assert UniformGenerator(1_000_000).hot_mass() == pytest.approx(1e-6)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            UniformGenerator(0)
+
+
+class TestZipfianGenerator:
+    def test_keys_in_range(self):
+        gen = ZipfianGenerator(1000, seed=2)
+        keys = gen.batch(2000)
+        assert keys.min() >= 0 and keys.max() < 1000
+
+    def test_more_skewed_than_uniform(self):
+        zipf = ZipfianGenerator(1000, seed=3)
+        uniform = UniformGenerator(1000, seed=3)
+        z_counts = np.sort(np.bincount(zipf.batch(20_000), minlength=1000))[::-1]
+        u_counts = np.sort(np.bincount(uniform.batch(20_000), minlength=1000))[::-1]
+        assert z_counts[:10].sum() > 3 * u_counts[:10].sum()
+
+    def test_scrambling_spreads_hot_keys(self):
+        gen = ZipfianGenerator(1000, seed=4)
+        keys = gen.batch(20_000)
+        counts = np.bincount(keys, minlength=1000)
+        hottest = np.argsort(counts)[::-1][:5]
+        # Hot keys should not be the low ranks 0..4 themselves.
+        assert set(hottest.tolist()) != {0, 1, 2, 3, 4}
+
+    def test_hot_mass_exceeds_uniform(self):
+        assert ZipfianGenerator(10_000).hot_mass() > 100 * UniformGenerator(10_000).hot_mass()
+
+    def test_theta_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.0)
+
+    def test_deterministic_given_seed(self):
+        a = ZipfianGenerator(500, seed=9).batch(100)
+        b = ZipfianGenerator(500, seed=9).batch(100)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestYCSBWorkload:
+    def test_load_values_covers_keyspace(self):
+        workload = YCSBWorkload(item_count=50, value_bytes=16)
+        loaded = dict(workload.load_values())
+        assert set(loaded) == set(range(50))
+        assert all(len(v) == 16 for v in loaded.values())
+
+    def test_operation_mix_respected(self):
+        workload = YCSBWorkload(item_count=100, read_fraction=0.5, seed=0)
+        ops = list(workload.operations(4000))
+        read_share = sum(op.is_read for op in ops) / len(ops)
+        assert read_share == pytest.approx(0.5, abs=0.05)
+
+    def test_distribution_selection(self):
+        assert isinstance(YCSBWorkload(10, distribution="uniform").generator, UniformGenerator)
+        assert isinstance(YCSBWorkload(10, distribution="zipfian").generator, ZipfianGenerator)
+        with pytest.raises(ValueError):
+            YCSBWorkload(10, distribution="gaussian")
+
+    def test_payload_deterministic(self):
+        workload = YCSBWorkload(10, value_bytes=8)
+        assert workload.payload(3) == workload.payload(3)
+        assert len(workload.payload(3)) == 8
