@@ -1,0 +1,22 @@
+# Developer entry points. `make test` is the tier-1 verification the CI
+# runs; `make bench` regenerates every figure table under results/.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke lint
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/test_fig10_ycsb.py benchmarks/test_sharded_batched.py -q
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	@$(PYTHON) -c "import pyflakes" 2>/dev/null \
+		&& $(PYTHON) -m pyflakes src tests benchmarks examples \
+		|| echo "pyflakes not installed; compileall check only"

@@ -1,0 +1,169 @@
+"""Sharded + batched storage layer: the two new scaling levers.
+
+Two cases beyond the paper's figures, following the ROADMAP's
+production-scale north star:
+
+* **batched vs looped** — a 10k-key YCSB read batch served through each
+  engine's ``multi_get`` hot path versus the per-key ``get`` loop.  The
+  batched paths amortize the fixed per-op work (epoch/clock acquisition,
+  memtable probes, root-to-leaf descents) without touching miss costs —
+  a demand miss still pays its blocking random read, because hiding
+  stalls is look-ahead's job, not the Get API's.  The batch is
+  memory-resident so the comparison isolates exactly that amortization.
+* **shard scaling** — 1/2/4/8-shard :class:`ShardedKVStore` over FASTER
+  children, each shard with its *own* clock + SSD (modeling one device
+  per shard) and the same *aggregate* memory in every configuration.
+  Shards serve a 50/50 YCSB mix in parallel, so elapsed time is the
+  slowest shard's clock and throughput scales with the shard count as
+  long as the hash keeps the load balanced.
+"""
+
+import tempfile
+
+from _util import report
+
+from repro.core.mlkv import MLKV
+from repro.data import YCSBWorkload
+from repro.device import SimClock, SSDModel
+from repro.kv import ShardedKVStore
+from repro.kv.btree import BTreeKV
+from repro.kv.faster import FasterKV
+from repro.kv.lsm import LsmKV
+
+_ITEMS = 10_000
+_BATCH_KEYS = 10_000
+_SWEEP_OPS = 20_000
+_SWEEP_BATCH = 256
+
+_ENGINES = {
+    "faster": FasterKV,
+    "mlkv": MLKV,
+    "lsm": LsmKV,
+    "btree": BTreeKV,
+}
+
+
+def _make_store(kind: str, buffer_bytes: int = 1 << 22):
+    ssd = SSDModel(SimClock())
+    directory = tempfile.mkdtemp(prefix=f"batched-{kind}-")
+    return _ENGINES[kind](directory, ssd=ssd, memory_budget_bytes=buffer_bytes)
+
+
+def _load(store, workload: YCSBWorkload) -> None:
+    items = list(workload.load_values())
+    store.multi_put([key for key, _ in items], [value for _, value in items])
+    store.clock.drain()
+
+
+def test_batched_vs_looped_multi_get(benchmark):
+    """Acceptance: batched beats looped for at least FASTER and LSM."""
+
+    def sweep():
+        rows = []
+        speedups = {}
+        for kind in _ENGINES:
+            workload = YCSBWorkload(_ITEMS, value_bytes=64,
+                                    distribution="zipfian", seed=21)
+            keys = [workload.generator.next_key() for _ in range(_BATCH_KEYS)]
+
+            looped_store = _make_store(kind)
+            _load(looped_store, workload)
+            start = looped_store.clock.now
+            for key in keys:
+                looped_store.get(key)
+            looped_store.clock.drain()
+            looped = _BATCH_KEYS / (looped_store.clock.now - start)
+            looped_store.close()
+
+            batched_store = _make_store(kind)
+            _load(batched_store, workload)
+            start = batched_store.clock.now
+            batched_store.multi_get(keys)
+            batched_store.clock.drain()
+            batched = _BATCH_KEYS / (batched_store.clock.now - start)
+            batched_store.close()
+
+            speedups[kind] = batched / looped
+            rows.append({
+                "Engine": kind,
+                "Looped (ops/s)": int(looped),
+                "Batched (ops/s)": int(batched),
+                "Speedup": round(batched / looped, 2),
+            })
+        return rows, speedups
+
+    rows, speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("sharded_batched_multi_get", rows,
+           note="10k-key zipfian YCSB read batch; batched multi_get vs "
+                "per-key get loop on the simulated clock")
+    assert speedups["faster"] > 1.0
+    assert speedups["lsm"] > 1.0
+    assert all(speedup >= 1.0 for speedup in speedups.values())
+
+
+def test_shard_scaling_sweep(benchmark):
+    """1/2/4/8 FASTER shards, one simulated device per shard."""
+
+    def sweep():
+        rows = []
+        throughputs = {}
+        for num_shards in (1, 2, 4, 8):
+            workload = YCSBWorkload(_ITEMS, value_bytes=64,
+                                    distribution="uniform", seed=31)
+
+            def make_shard(index):
+                directory = tempfile.mkdtemp(prefix=f"shard{num_shards}-{index}-")
+                # Constant aggregate memory: scaling comes from parallel
+                # devices, not from extra buffer.
+                return FasterKV(directory, ssd=SSDModel(SimClock()),
+                                memory_budget_bytes=(1 << 21) // num_shards)
+
+            store = ShardedKVStore(make_shard, num_shards)
+            items = list(workload.load_values())
+            store.multi_put([key for key, _ in items],
+                            [value for _, value in items])
+            for shard in store.shards:
+                shard.clock.drain()
+
+            starts = [shard.clock.now for shard in store.shards]
+            reads: list[int] = []
+            writes: list[int] = []
+            for op in workload.operations(_SWEEP_OPS):
+                (reads if op.is_read else writes).append(op.key)
+                if len(reads) >= _SWEEP_BATCH:
+                    store.multi_get(reads)
+                    reads = []
+                if len(writes) >= _SWEEP_BATCH:
+                    store.multi_put(writes,
+                                    [workload.payload(key) for key in writes])
+                    writes = []
+            if reads:
+                store.multi_get(reads)
+            if writes:
+                store.multi_put(writes, [workload.payload(key) for key in writes])
+            for shard in store.shards:
+                shard.clock.drain()
+            # Shards run on independent devices: the batch completes when
+            # the slowest shard does.
+            elapsed = max(
+                shard.clock.now - start
+                for shard, start in zip(store.shards, starts)
+            )
+            throughput = _SWEEP_OPS / elapsed
+            throughputs[num_shards] = throughput
+            rows.append({
+                "Shards": num_shards,
+                "Throughput (ops/s)": int(throughput),
+                "Imbalance (max/mean)": round(store.imbalance(), 3),
+            })
+            store.close()
+        return rows, throughputs
+
+    rows, throughputs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("sharded_batched_shard_sweep", rows,
+           note="50/50 YCSB in 256-key batches; one clock+SSD per shard, "
+                "elapsed = slowest shard")
+    assert throughputs[2] > throughputs[1]
+    assert throughputs[8] > 2.0 * throughputs[1]
+    for row in rows:
+        assert row["Imbalance (max/mean)"] < 1.5

@@ -89,6 +89,39 @@ class NativeStore(KVStore):
         self._bytes -= len(value)
         return True
 
+    def multi_get(self, keys) -> list:
+        """Batched lookup with the same CPU amortization the engines get
+        (PERSIA-style frameworks gather a minibatch in one call too)."""
+        keys = self._normalize_keys(keys)
+        self._charge_batch_cpu(len(keys))
+        self._stats.gets += len(keys)
+        results = []
+        for key in keys:
+            value = self._data.get(key)
+            if value is None:
+                self._stats.misses += 1
+            else:
+                self._stats.hits += 1
+            results.append(value)
+        return results
+
+    def multi_put(self, keys, values) -> None:
+        """Batched insert honoring the memory budget per entry."""
+        keys, values = self._normalize_pairs(keys, values)
+        self._charge_batch_cpu(len(keys))
+        self._stats.puts += len(keys)
+        for key, value in zip(keys, values):
+            old = self._data.get(key)
+            delta = len(value) - (len(old) if old is not None else 0)
+            if self._bytes + delta > self.memory_budget_bytes:
+                raise StorageError(
+                    "native in-memory storage exhausted its budget "
+                    f"({self.memory_budget_bytes} bytes) — the larger-than-memory "
+                    "regime requires a disk-based backend"
+                )
+            self._data[key] = value
+            self._bytes += delta
+
     def scan(self) -> Iterator[tuple[int, bytes]]:
         yield from self._data.items()
 

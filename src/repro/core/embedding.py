@@ -86,17 +86,29 @@ class EmbeddingTables:
         Unseen keys are lazily initialized and inserted.  Per unique key
         the store's Get protocol runs once; duplicates within the batch
         share the admission (embedding lookups for one minibatch are a
-        single logical read per key).
+        single logical read per key).  All keys missing from the
+        application cache are fetched with **one** batched ``multi_get``,
+        so the store's amortized hot path serves the whole minibatch.
         """
         keys = np.asarray(keys, dtype=np.int64)
         unique, inverse = np.unique(keys, return_inverse=True)
         gathered = np.empty((unique.shape[0], self.dim), dtype=np.float32)
+        fetch_rows: list[int] = []
+        fetch_keys: list[int] = []
         for i, key in enumerate(unique):
-            gathered[i] = self._get_one(int(key))
+            vector = self._consume_cached(int(key))
+            if vector is not None:
+                gathered[i] = vector
+            else:
+                fetch_rows.append(i)
+                fetch_keys.append(int(key))
+        if fetch_keys:
+            for i, vector in zip(fetch_rows, self._fetch_many(fetch_keys)):
+                gathered[i] = vector
         return gathered[inverse].reshape(*keys.shape, self.dim)
 
-    def _get_one(self, key: int) -> np.ndarray:
-        """Training read: consume a prefetched entry or admit through the store.
+    def _consume_cached(self, key: int) -> Optional[np.ndarray]:
+        """Training read from the app cache (or ``None`` on a miss).
 
         Cache entries are reference-counted prefetches: each conventional
         prefetch performed one Get admission, so each entry covers exactly
@@ -112,15 +124,29 @@ class EmbeddingTables:
             self.cache.hits += 1
             return entry[0]
         self.cache.misses += 1
-        return self._fetch_one(key)
+        return None
 
     def _fetch_one(self, key: int) -> np.ndarray:
-        raw = self.store.get(key)
-        if raw is None:
-            vector = self._init_vector(key)
-            self.store.put(key, encode_vector(vector))
-            raw = self.store.get(key)
-        return decode_vector(raw, dim=self.dim)
+        return self._fetch_many([key])[0]
+
+    def _fetch_many(self, keys: list[int]) -> list[np.ndarray]:
+        """One batched store read; unseen keys initialize and write back.
+
+        Newly initialized keys are inserted with one ``multi_put`` and
+        re-read with a second ``multi_get`` so their admissions are
+        counted by the store's Get protocol, exactly like the per-key
+        path did.
+        """
+        raws = self.store.multi_get(keys)
+        missing = [key for key, raw in zip(keys, raws) if raw is None]
+        if missing:
+            self.store.multi_put(
+                missing,
+                [encode_vector(self._init_vector(key)) for key in missing],
+            )
+            refreshed = iter(self.store.multi_get(missing))
+            raws = [raw if raw is not None else next(refreshed) for raw in raws]
+        return [decode_vector(raw, dim=self.dim) for raw in raws]
 
     def put(self, keys, values: np.ndarray) -> None:
         """Write updated vectors back (backward-pass path).
@@ -135,8 +161,10 @@ class EmbeddingTables:
         seen: dict[int, np.ndarray] = {}
         for key, vector in zip(keys, values):
             seen[int(key)] = vector
+        self.store.multi_put(
+            list(seen), [encode_vector(vector) for vector in seen.values()]
+        )
         for key, vector in seen.items():
-            self.store.put(key, encode_vector(vector))
             entry = self.cache.peek(key)
             if entry is not None:
                 # Keep an un-consumed prefetched entry fresh.
@@ -163,6 +191,9 @@ class EmbeddingTables:
             ssd = getattr(self.store, "ssd", None)
             # Conventional prefetching goes through the synchronous Get
             # API on a few framework worker threads — limited overlap.
+            # Deliberately per-key (not multi_get): each worker issues an
+            # independent admission, and a key that cannot admit must not
+            # abort its siblings — that limitation is the paper's point.
             scope = (
                 ssd.background(parallelism=PREFETCH_WORKERS)
                 if ssd is not None
@@ -195,10 +226,12 @@ class EmbeddingTables:
         """
         keys = np.asarray(keys, dtype=np.int64)
         unique, inverse = np.unique(keys, return_inverse=True)
-        reader = getattr(self.store, "read_committed", self.store.get)
+        # Stores with an admission protocol expose batched committed
+        # reads; for plain engines multi_get already is the committed read.
+        reader = getattr(self.store, "read_committed_many", self.store.multi_get)
+        raws = reader([int(key) for key in unique])
         gathered = np.empty((unique.shape[0], self.dim), dtype=np.float32)
-        for i, key in enumerate(unique):
-            raw = reader(int(key))
+        for i, (key, raw) in enumerate(zip(unique, raws)):
             if raw is None:
                 gathered[i] = self._init_vector(int(key))
             else:

@@ -66,8 +66,14 @@ class LookaheadEngine:
         cached = 0
         buffer_target = min(len(self.batch_keys), step + 1 + self.distance)
         start = max(self._buffer_cursor, step + 1)
-        for index in range(start, buffer_target):
-            staged += self.tables.lookahead(self.batch_keys[index], dest="buffer")
+        if start < buffer_target:
+            # Stage the window's batches with one Lookahead call: the
+            # store sorts the union by log address and serves it with a
+            # single sequential scan instead of one scan per batch.
+            window = np.concatenate(
+                [self.batch_keys[index] for index in range(start, buffer_target)]
+            )
+            staged += self.tables.lookahead(window, dest="buffer")
         self._buffer_cursor = max(self._buffer_cursor, buffer_target)
 
         cache_target = min(len(self.batch_keys), step + 1 + self.conventional_window)

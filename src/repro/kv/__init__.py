@@ -10,8 +10,14 @@ Three engines share the :class:`~repro.kv.api.KVStore` interface:
 All three persist to real files and charge simulated I/O costs to a shared
 :class:`~repro.device.ssd.SSDModel`, so the Figure 7 buffer-size sweeps
 exercise genuine hit/miss paths in each engine.
+
+:mod:`repro.kv.sharded` composes any mix of them into a hash-partitioned
+:class:`~repro.kv.sharded.ShardedKVStore` for horizontal scale-out, and
+every engine overrides ``multi_get``/``multi_put`` with genuinely batched
+hot paths (one epoch acquisition, WAL group commits, single leaf walks).
 """
 
 from repro.kv.api import KVStore, StoreStats
+from repro.kv.sharded import ShardedKVStore, shard_hash
 
-__all__ = ["KVStore", "StoreStats"]
+__all__ = ["KVStore", "StoreStats", "ShardedKVStore", "shard_hash"]

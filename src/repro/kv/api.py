@@ -11,6 +11,12 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
+#: Fraction of the per-operation CPU cost charged for each key inside a
+#: batched operation.  The remainder of a full op cost is paid once per
+#: batch: epoch/latch acquisition, index setup and call dispatch amortize
+#: across the batch, while per-key probe work does not.
+BATCH_CPU_FRACTION = 0.4
+
 
 @dataclass
 class StoreStats:
@@ -63,15 +69,63 @@ class KVStore(ABC):
         return new_value
 
     def multi_get(self, keys) -> list:
-        """Batched get preserving input order (``None`` for absent keys)."""
+        """Batched get preserving input order (``None`` for absent keys).
+
+        ``keys`` may be any iterable (generators included); it is
+        materialized exactly once.  The result is positionally aligned
+        with the input: ``result[i]`` corresponds to the i-th key, and
+        duplicate keys are each looked up.  Engines override this with
+        genuinely batched hot paths; this default is the per-key loop
+        those paths amortize.
+        """
+        keys = self._normalize_keys(keys)
         return [self.get(key) for key in keys]
 
     def multi_put(self, keys, values) -> None:
-        """Batched put; ``keys`` and ``values`` must have equal length."""
-        if len(keys) != len(values):
-            raise ValueError("multi_put requires equally long keys and values")
+        """Batched put applied in input order (the last duplicate wins).
+
+        ``keys`` and ``values`` may be any iterables; both are
+        materialized exactly once and must describe the same number of
+        entries, otherwise :class:`ValueError` is raised.  After the call
+        returns, the store state equals a sequential application of the
+        individual puts.
+        """
+        keys, values = self._normalize_pairs(keys, values)
         for key, value in zip(keys, values):
             self.put(key, value)
+
+    @staticmethod
+    def _normalize_keys(keys) -> list:
+        """Materialize a key iterable (generators have no ``len``)."""
+        return list(keys)
+
+    @staticmethod
+    def _normalize_pairs(keys, values) -> tuple[list, list]:
+        """Materialize both iterables and enforce equal lengths."""
+        keys = list(keys)
+        values = list(values)
+        if len(keys) != len(values):
+            raise ValueError(
+                "multi_put requires equally many keys and values; "
+                f"got {len(keys)} keys and {len(values)} values"
+            )
+        return keys, values
+
+    def _charge_batch_cpu(self, count: int) -> None:
+        """Charge amortized CPU for a ``count``-key batched operation.
+
+        One full op cost covers the batch setup plus the first key; every
+        further key costs ``BATCH_CPU_FRACTION`` of an op.  Engines
+        without a simulated clock (or with ``op_cpu_seconds=0``) charge
+        nothing, matching their per-key paths.
+        """
+        op_cpu_seconds = getattr(self, "op_cpu_seconds", 0.0)
+        clock = getattr(self, "clock", None)
+        if clock is not None and op_cpu_seconds and count:
+            clock.advance(
+                op_cpu_seconds * (1.0 + BATCH_CPU_FRACTION * (count - 1)),
+                component="cpu",
+            )
 
     def scan(self) -> Iterator[tuple[int, bytes]]:  # pragma: no cover - optional
         """Iterate all live records; order is engine-specific."""

@@ -178,17 +178,37 @@ class BTreeKV(KVStore):
             return node.values[pos]
         return None
 
-    def put(self, key: int, value: bytes) -> None:
-        self._charge_cpu()
-        self._stats.puts += 1
-        path: list[tuple[int, _Node, int]] = []  # (page_id, node, child_index)
+    def _descend_with_path(
+        self, key: int
+    ) -> tuple[int, _Node, list[tuple[int, _Node, int]], Optional[int]]:
+        """Root-to-leaf descent for ``key``.
+
+        Returns ``(leaf_page_id, leaf, path, upper_bound)`` where ``path``
+        holds ``(page_id, node, child_index)`` per internal level and
+        ``upper_bound`` is the smallest separator to the right of the
+        descent (``None`` on the rightmost path) — the leaf is
+        responsible for every key strictly below it, which is what lets
+        batched operations keep the leaf pinned across consecutive sorted
+        keys.
+        """
+        path: list[tuple[int, _Node, int]] = []
+        upper: Optional[int] = None
         page_id = self.root_page
         node = self._load(page_id)
         while not node.leaf:
             child_index = bisect.bisect_right(node.keys, key)
+            if child_index < len(node.keys):
+                separator = node.keys[child_index]
+                upper = separator if upper is None else min(upper, separator)
             path.append((page_id, node, child_index))
             page_id = node.children[child_index]
             node = self._load(page_id)
+        return page_id, node, path, upper
+
+    def put(self, key: int, value: bytes) -> None:
+        self._charge_cpu()
+        self._stats.puts += 1
+        page_id, node, path, _ = self._descend_with_path(key)
         pos = bisect.bisect_left(node.keys, key)
         if pos < len(node.keys) and node.keys[pos] == key:
             node.values[pos] = value
@@ -234,6 +254,61 @@ class BTreeKV(KVStore):
                 self.root_page = self.pager.allocate()
                 self._install(self.root_page, new_root)
                 return
+
+    def multi_get(self, keys) -> list:
+        """Batched get: sort the keys and walk each leaf once.
+
+        Consecutive sorted keys usually land in the same leaf, so the
+        leaf stays pinned (and its root-to-leaf page loads are paid once)
+        until a key crosses the leaf's upper separator.  Results are
+        returned in input order; duplicates share the pinned leaf.
+        """
+        keys = self._normalize_keys(keys)
+        self._charge_batch_cpu(len(keys))
+        self._stats.gets += len(keys)
+        results: list[Optional[bytes]] = [None] * len(keys)
+        order = sorted(range(len(keys)), key=lambda position: keys[position])
+        leaf: Optional[_Node] = None
+        upper: Optional[int] = None
+        for position in order:
+            key = keys[position]
+            if leaf is None or (upper is not None and key >= upper):
+                _, leaf, _, upper = self._descend_with_path(key)
+            pos = bisect.bisect_left(leaf.keys, key)
+            if pos < len(leaf.keys) and leaf.keys[pos] == key:
+                results[position] = leaf.values[pos]
+        return results
+
+    def multi_put(self, keys, values) -> None:
+        """Batched put: sorted insertion with the leaf pinned across keys.
+
+        The leaf (and its path) is reused until a key crosses its upper
+        separator or an insertion splits it, so a batch dirties each leaf
+        once instead of re-descending per key.  Stable sorting keeps the
+        input order of duplicate keys, preserving last-duplicate-wins.
+        """
+        keys, values = self._normalize_pairs(keys, values)
+        self._charge_batch_cpu(len(keys))
+        self._stats.puts += len(keys)
+        order = sorted(range(len(keys)), key=lambda position: keys[position])
+        page_id: Optional[int] = None
+        leaf: Optional[_Node] = None
+        path: list[tuple[int, _Node, int]] = []
+        upper: Optional[int] = None
+        for position in order:
+            key = keys[position]
+            if leaf is None or (upper is not None and key >= upper):
+                page_id, leaf, path, upper = self._descend_with_path(key)
+            pos = bisect.bisect_left(leaf.keys, key)
+            if pos < len(leaf.keys) and leaf.keys[pos] == key:
+                leaf.values[pos] = values[position]
+            else:
+                leaf.keys.insert(pos, key)
+                leaf.values.insert(pos, values[position])
+            self._mark_dirty(page_id, leaf)
+            if len(leaf.keys) > self.fanout:
+                self._split_upwards(page_id, leaf, path)
+                leaf = None  # structure changed: re-descend for the next key
 
     def delete(self, key: int) -> bool:
         self._charge_cpu()

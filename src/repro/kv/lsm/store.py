@@ -125,6 +125,11 @@ class LsmKV(KVStore):
         block_no = run.block_for(key)
         if block_no is None:
             return False, None
+        block = self._load_block(run, block_no)
+        return SSTable.search_block(block, key)
+
+    def _load_block(self, run: SSTable, block_no: int) -> bytes:
+        """Fetch an SSTable block through the cache, counting hit/miss."""
         cache_key = (run.path, block_no)
         block = self.block_cache.get(cache_key)
         if block is None:
@@ -133,7 +138,70 @@ class LsmKV(KVStore):
             self._stats.misses += 1
         else:
             self._stats.hits += 1
-        return SSTable.search_block(block, key)
+        return block
+
+    def multi_get(self, keys) -> list:
+        """Batched get: one memtable pass, then run probes grouped by block.
+
+        Unresolved keys walk the run hierarchy newest-first exactly like
+        the per-key path, but within each run they are grouped by SSTable
+        block so every needed block is fetched at most once per batch —
+        duplicate keys and co-located keys share the read — and the fixed
+        per-op CPU cost is charged once per batch.
+        """
+        keys = self._normalize_keys(keys)
+        self._charge_batch_cpu(len(keys))
+        self._stats.gets += len(keys)
+        results: list[Optional[bytes]] = [None] * len(keys)
+        unresolved: dict[int, list[int]] = {}  # key -> positions awaiting it
+        for position, key in enumerate(keys):
+            found, value = self.memtable.get(key)
+            if found:
+                self._stats.hits += 1
+                results[position] = value
+            else:
+                unresolved.setdefault(key, []).append(position)
+        runs = self.l0_runs + [self.levels[lv] for lv in sorted(self.levels)]
+        for run in runs:
+            if not unresolved:
+                break
+            by_block: dict[int, list[int]] = {}
+            for key in unresolved:
+                if not run.may_contain(key):
+                    continue
+                block_no = run.block_for(key)
+                if block_no is not None:
+                    by_block.setdefault(block_no, []).append(key)
+            for block_no in sorted(by_block):
+                block = self._load_block(run, block_no)
+                for key in by_block[block_no]:
+                    found, value = SSTable.search_block(block, key)
+                    if found:
+                        for position in unresolved.pop(key):
+                            results[position] = value
+        for positions in unresolved.values():
+            self._stats.misses += len(positions)
+        return results
+
+    def multi_put(self, keys, values) -> None:
+        """Batched put: one WAL group commit + a single sorted memtable pass.
+
+        Duplicates collapse to their last occurrence before touching the
+        WAL or memtable, so the final state matches a sequential
+        application while the write amplification does not scale with the
+        duplicate count.
+        """
+        keys, values = self._normalize_pairs(keys, values)
+        self._charge_batch_cpu(len(keys))
+        self._stats.puts += len(keys)
+        last: dict[int, bytes] = {}
+        for key, value in zip(keys, values):
+            last[key] = value
+        items = sorted(last.items())
+        self.wal.append_put_batch(items)
+        for key, value in items:
+            self.memtable.put(key, value)
+        self._maybe_flush()
 
     def scan(self) -> Iterator[tuple[int, bytes]]:
         runs = self.l0_runs + [self.levels[lv] for lv in sorted(self.levels)]

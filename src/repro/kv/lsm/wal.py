@@ -38,6 +38,25 @@ class WriteAheadLog:
     def append_delete(self, key: int) -> None:
         self._append(_OP_DELETE, key, b"")
 
+    def append_put_batch(self, items) -> None:
+        """Append many puts as one group-commit unit.
+
+        Per-record framing is identical to :meth:`append_put` (replay
+        needs no changes), but the whole batch counts as a single pending
+        commit, so one sync — one sequential write — covers all of it.
+        """
+        payload = bytearray()
+        for key, value in items:
+            payload += _TAG.pack(_OP_PUT)
+            payload += encode_record(key, value)
+        if not payload:
+            return
+        self._file.write(payload)
+        self._pending += 1
+        self._pending_bytes += len(payload)
+        if self._pending >= self.sync_every:
+            self.sync()
+
     def _append(self, op: int, key: int, value: bytes) -> None:
         payload = _TAG.pack(op) + encode_record(key, value)
         self._file.write(payload)

@@ -1,0 +1,298 @@
+"""Hash-sharded composition of key-value engines.
+
+:class:`ShardedKVStore` partitions the integer key space across N child
+engines with a mixed hash, giving the horizontal scale-out layer the
+paper's deployment section assumes: each shard is an independent engine
+instance (its own log/runs/pages, and — when the factory builds one per
+shard — its own SSD device model), so shards serve traffic in parallel
+on a real multi-node or multi-SSD deployment.
+
+Batched operations are the reason this layer exists: ``multi_get`` /
+``multi_put`` split one application batch into at most one *sub-batch
+per shard*, so every child engine still gets its amortized batched hot
+path (one epoch acquisition, one WAL group commit, one leaf walk) rather
+than degenerating into per-key routing.  Results are scattered back into
+input order, preserving the :class:`~repro.kv.api.KVStore` ordering
+contract exactly.
+
+The shard function is a splitmix64 finalizer over the key, so dense
+sparse-feature id ranges (0..n) spread uniformly instead of striping by
+``key % n`` — the per-shard balance counters exposed through
+:meth:`ShardedKVStore.balance` let benchmarks and tests verify that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.kv.api import KVStore, StoreStats
+
+_MASK64 = (1 << 64) - 1
+
+
+def shard_hash(key: int) -> int:
+    """splitmix64 finalizer: decorrelates shard choice from key locality."""
+    x = (int(key) + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
+
+
+class ShardedKVStore(KVStore):
+    """Hash-partitioned store fanning out to N child engines.
+
+    Parameters
+    ----------
+    factory:
+        ``factory(shard_index) -> KVStore`` building one child engine per
+        shard; any mix of FASTER / MLKV / LSM / B-tree works, each with
+        its own directory (and, for parallel-device modeling, its own
+        clock + SSD).
+    num_shards:
+        Number of partitions; fixed for the store's lifetime (use
+        :meth:`rebalance` to move to a different count).
+    """
+
+    def __init__(self, factory: Callable[[int], KVStore], num_shards: int) -> None:
+        if num_shards <= 0:
+            raise ConfigError(f"num_shards must be positive, got {num_shards}")
+        self.num_shards = num_shards
+        self.shards: list[KVStore] = [factory(index) for index in range(num_shards)]
+        self._shard_ops = [0] * num_shards
+        self._closed = False
+
+    @classmethod
+    def from_stores(cls, stores: Sequence[KVStore]) -> "ShardedKVStore":
+        """Wrap already-constructed child engines (one per shard)."""
+        stores = list(stores)
+        return cls(lambda index: stores[index], len(stores))
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_of(self, key: int) -> int:
+        """Deterministic shard index for ``key``."""
+        return shard_hash(key) % self.num_shards
+
+    def _partition_keys(self, keys: list) -> dict[int, list[int]]:
+        """Group input *positions* by owning shard, preserving order."""
+        by_shard: dict[int, list[int]] = {}
+        for position, key in enumerate(keys):
+            by_shard.setdefault(self.shard_of(key), []).append(position)
+        return by_shard
+
+    # ------------------------------------------------------------------
+    # KVStore interface
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> Optional[bytes]:
+        shard = self.shard_of(key)
+        self._shard_ops[shard] += 1
+        return self.shards[shard].get(key)
+
+    def put(self, key: int, value: bytes) -> None:
+        shard = self.shard_of(key)
+        self._shard_ops[shard] += 1
+        self.shards[shard].put(key, value)
+
+    def delete(self, key: int) -> bool:
+        shard = self.shard_of(key)
+        self._shard_ops[shard] += 1
+        return self.shards[shard].delete(key)
+
+    def rmw(self, key: int, update: Callable[[Optional[bytes]], bytes]) -> bytes:
+        shard = self.shard_of(key)
+        self._shard_ops[shard] += 1
+        return self.shards[shard].rmw(key, update)
+
+    def multi_get(self, keys) -> list:
+        """Fan one batch out as one batched sub-read per shard.
+
+        Input order (duplicates included) is preserved in the result; the
+        per-shard sub-batches keep the children on their amortized
+        batched paths.
+        """
+        keys = self._normalize_keys(keys)
+        results: list = [None] * len(keys)
+        for shard, positions in self._partition_keys(keys).items():
+            self._shard_ops[shard] += len(positions)
+            sub_results = self.shards[shard].multi_get(
+                [keys[position] for position in positions]
+            )
+            for position, value in zip(positions, sub_results):
+                results[position] = value
+        return results
+
+    def multi_put(self, keys, values) -> None:
+        """Fan one batch out as one batched sub-write per shard.
+
+        Positions within each shard keep their input order, so the
+        last-duplicate-wins contract holds per key.
+        """
+        keys, values = self._normalize_pairs(keys, values)
+        for shard, positions in self._partition_keys(keys).items():
+            self._shard_ops[shard] += len(positions)
+            self.shards[shard].multi_put(
+                [keys[position] for position in positions],
+                [values[position] for position in positions],
+            )
+
+    def scan(self) -> Iterator[tuple[int, bytes]]:
+        """All live records, shard by shard (order is engine-specific)."""
+        for shard in self.shards:
+            yield from shard.scan()
+
+    def close(self) -> None:
+        if not self._closed:
+            for shard in self.shards:
+                shard.close()
+            self._closed = True
+
+    def __len__(self) -> int:
+        """Live records across all shards.
+
+        Engines without ``__len__`` (LSM, B+tree) are counted by scanning
+        — correct but O(n); hash-indexed engines answer in O(1).
+        """
+        total = 0
+        for shard in self.shards:
+            try:
+                total += len(shard)  # type: ignore[arg-type]
+            except TypeError:
+                total += sum(1 for _ in shard.scan())
+        return total
+
+    @property
+    def ssd(self):
+        """The device model shared by every child, when there is one.
+
+        Exposed so the embedding layer's conventional-prefetch background
+        scope works over a sharded store.  Shards built with private
+        per-device models have no single queue to scope, so the attribute
+        is absent (``AttributeError``) and ``getattr(store, "ssd", None)``
+        call sites degrade gracefully.
+        """
+        first = getattr(self.shards[0], "ssd", None)
+        if first is not None and all(
+            getattr(shard, "ssd", None) is first for shard in self.shards
+        ):
+            return first
+        raise AttributeError("shards do not share a single SSD device")
+
+    # ------------------------------------------------------------------
+    # stats & balance
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> StoreStats:
+        """Aggregated snapshot of all child counters.
+
+        Unlike single engines this returns a fresh object per access (the
+        children own the live counters); ``extra`` carries the per-shard
+        breakdown under ``"shard_ops"`` plus each child's own extras
+        under ``"shards"``.
+        """
+        total = StoreStats()
+        per_shard_extra = []
+        for shard in self.shards:
+            child = shard.stats
+            total.gets += child.gets
+            total.puts += child.puts
+            total.deletes += child.deletes
+            total.hits += child.hits
+            total.misses += child.misses
+            per_shard_extra.append(dict(child.extra))
+        total.extra["shard_ops"] = list(self._shard_ops)
+        total.extra["shards"] = per_shard_extra
+        return total
+
+    def balance(self) -> list[int]:
+        """Operations routed to each shard since construction."""
+        return list(self._shard_ops)
+
+    def imbalance(self) -> float:
+        """Max/mean ratio of routed ops (1.0 = perfectly balanced)."""
+        total = sum(self._shard_ops)
+        if total == 0:
+            return 1.0
+        mean = total / self.num_shards
+        return max(self._shard_ops) / mean
+
+    # ------------------------------------------------------------------
+    # MLKV passthroughs (only meaningful when the children support them)
+    # ------------------------------------------------------------------
+    def lookahead(self, keys) -> int:
+        """Fan a prefetch batch out to the shards that support staging."""
+        keys = self._normalize_keys(keys)
+        copied = 0
+        for shard, positions in self._partition_keys(keys).items():
+            engine = getattr(self.shards[shard], "lookahead", None)
+            if engine is not None:
+                copied += engine([keys[position] for position in positions])
+        return copied
+
+    def read_committed_many(self, keys) -> list:
+        """Batched snapshot reads, admission-free where children allow."""
+        keys = self._normalize_keys(keys)
+        results: list = [None] * len(keys)
+        for shard, positions in self._partition_keys(keys).items():
+            child = self.shards[shard]
+            reader = getattr(child, "read_committed_many", child.multi_get)
+            sub_results = reader([keys[position] for position in positions])
+            for position, value in zip(positions, sub_results):
+                results[position] = value
+        return results
+
+    def set_stall_handler(self, handler) -> None:
+        """Register the training stall hook on every capable child."""
+        for shard in self.shards:
+            sink = getattr(shard, "set_stall_handler", None)
+            if sink is not None:
+                sink(handler)
+
+    @property
+    def staleness_bound(self):
+        """Tightest child bound, exposed only when every child has one.
+
+        The training loop clamps its conventional prefetch window with
+        this; raising ``AttributeError`` when a child lacks a bound keeps
+        ``getattr(store, "staleness_bound", None)`` call sites working.
+        """
+        bounds = [getattr(shard, "staleness_bound", None) for shard in self.shards]
+        if any(bound is None for bound in bounds):
+            raise AttributeError("not every shard enforces a staleness bound")
+        return min(bounds)
+
+    def checkpoint(self) -> None:
+        """Checkpoint every child that supports it."""
+        for shard in self.shards:
+            snap = getattr(shard, "checkpoint", None)
+            if snap is not None:
+                snap()
+
+    # ------------------------------------------------------------------
+    # rebalancing
+    # ------------------------------------------------------------------
+    def rebalance(
+        self, factory: Callable[[int], KVStore], num_shards: int, batch: int = 1024
+    ) -> "ShardedKVStore":
+        """Stream every record into a new store with ``num_shards`` shards.
+
+        Returns the new store; this store remains readable (callers close
+        it once cut over).  Records move in ``batch``-sized ``multi_put``
+        calls so the target shards ingest through their batched paths.
+        The invariants tests rely on: the new store holds exactly the
+        same records, and only keys whose hash lands on a different
+        ``% num_shards`` bucket change shard.
+        """
+        target = ShardedKVStore(factory, num_shards)
+        pending_keys: list[int] = []
+        pending_values: list[bytes] = []
+        for key, value in self.scan():
+            pending_keys.append(key)
+            pending_values.append(value)
+            if len(pending_keys) >= batch:
+                target.multi_put(pending_keys, pending_values)
+                pending_keys, pending_values = [], []
+        if pending_keys:
+            target.multi_put(pending_keys, pending_values)
+        return target

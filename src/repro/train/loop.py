@@ -4,10 +4,12 @@ One training step (paper Figure 4, steps 1–8):
 
 1. the look-ahead engine prefetches upcoming batches (buffer and/or
    cache destinations),
-2. ``tables.get`` fetches this batch's unique embedding rows — a Get that
-   exceeds the staleness bound triggers the registered stall handler,
-   which applies the oldest pending updates until the key admits (this is
-   where synchronous training burns time in Figure 2),
+2. ``tables.get`` fetches this batch's unique embedding rows with one
+   batched ``multi_get`` against the store (per-op overhead amortizes
+   across the minibatch; a sharded store fans the batch out per shard) —
+   a Get that exceeds the staleness bound triggers the registered stall
+   handler, which applies the oldest pending updates until the key admits
+   (this is where synchronous training burns time in Figure 2),
 3. the task-specific ``forward_backward`` runs the network and produces
    gradients with respect to the fetched rows (compute charged to the
    simulated GPU: 1× forward, 2× backward),

@@ -89,7 +89,9 @@ class TestStalenessEffects:
         sync = self._train(ctr_dataset, bound=0, depth=0, tmp_path=tmp_path, tag="s2")
         async_ = self._train(ctr_dataset, bound=ASP_BOUND, depth=48,
                              tmp_path=tmp_path, tag="a2")
-        assert sync.sim_seconds >= async_.sim_seconds
+        # At this scale the two runs can tie exactly; allow float-summation
+        # noise (the clock accumulates millions of charges in either order).
+        assert sync.sim_seconds >= async_.sim_seconds * (1.0 - 1e-9)
 
 
 class TestOutOfCore:

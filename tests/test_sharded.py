@@ -1,0 +1,308 @@
+"""ShardedKVStore: routing, ordering, stats, rebalance — plus the
+batched-equals-looped property test run against all four engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mlkv import MLKV
+from repro.device import SimClock, SSDModel
+from repro.errors import ConfigError
+from repro.kv import ShardedKVStore, shard_hash
+from repro.kv.btree import BTreeKV
+from repro.kv.faster import FasterKV
+from repro.kv.lsm import LsmKV
+
+ENGINES = ("faster", "mlkv", "lsm", "btree")
+
+
+def make_engine(kind: str, directory: str, memory_budget_bytes: int = 1 << 16):
+    """A small-buffer engine so batches reach the disk-resident paths."""
+    ssd = SSDModel(SimClock())
+    if kind == "faster":
+        return FasterKV(directory, ssd=ssd, memory_budget_bytes=memory_budget_bytes)
+    if kind == "mlkv":
+        return MLKV(directory, ssd=ssd, memory_budget_bytes=memory_budget_bytes)
+    if kind == "lsm":
+        return LsmKV(directory, ssd=ssd, memory_budget_bytes=memory_budget_bytes)
+    if kind == "btree":
+        return BTreeKV(directory, ssd=ssd, memory_budget_bytes=memory_budget_bytes)
+    raise AssertionError(kind)
+
+
+@pytest.fixture
+def sharded(tmp_path):
+    store = ShardedKVStore(
+        lambda index: FasterKV(str(tmp_path / f"shard{index}")), num_shards=4
+    )
+    yield store
+    store.close()
+
+
+class TestRouting:
+    def test_shard_of_is_deterministic_and_in_range(self, sharded):
+        for key in range(1000):
+            shard = sharded.shard_of(key)
+            assert 0 <= shard < sharded.num_shards
+            assert shard == sharded.shard_of(key)
+
+    def test_each_key_lives_in_exactly_one_child(self, sharded):
+        keys = list(range(200))
+        sharded.multi_put(keys, [bytes([key % 251]) * 8 for key in keys])
+        for key in keys:
+            holders = [
+                index
+                for index, child in enumerate(sharded.shards)
+                if child.get(key) is not None
+            ]
+            assert holders == [sharded.shard_of(key)]
+
+    def test_dense_key_range_spreads_evenly(self, sharded):
+        keys = list(range(4000))
+        sharded.multi_put(keys, [b"v" for _ in keys])
+        assert sharded.imbalance() < 1.25
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardedKVStore(lambda index: None, num_shards=0)
+
+    def test_hash_is_not_modulo_striping(self):
+        # Consecutive keys must not stripe round-robin across shards.
+        shards = [shard_hash(key) % 4 for key in range(16)]
+        assert shards != [key % 4 for key in range(16)]
+
+
+class TestCrossShardOrdering:
+    def test_multi_get_preserves_input_order_and_duplicates(self, sharded):
+        keys = [7, 3, 7, 900, 11, 3]
+        sharded.multi_put([3, 7, 11], [b"three", b"seven", b"eleven"])
+        values = sharded.multi_get(keys)
+        assert values == [b"seven", b"three", b"seven", None, b"eleven", b"three"]
+
+    def test_multi_put_last_duplicate_wins_across_shards(self, sharded):
+        keys = [5, 6, 5, 6, 5]
+        values = [b"a", b"b", b"c", b"d", b"e"]
+        sharded.multi_put(keys, values)
+        assert sharded.get(5) == b"e"
+        assert sharded.get(6) == b"d"
+
+    def test_iterables_accepted_and_length_checked(self, sharded):
+        sharded.multi_put((key for key in [1, 2]), (value for value in [b"x", b"y"]))
+        assert sharded.multi_get(key for key in [2, 1]) == [b"y", b"x"]
+        with pytest.raises(ValueError):
+            sharded.multi_put((key for key in [1, 2]), (value for value in [b"x"]))
+
+    def test_scan_yields_union_of_shards(self, sharded):
+        keys = list(range(50))
+        sharded.multi_put(keys, [key.to_bytes(2, "little") for key in keys])
+        scanned = dict(sharded.scan())
+        assert scanned == {key: key.to_bytes(2, "little") for key in keys}
+
+
+class TestStatsAggregation:
+    def test_counters_sum_over_children(self, sharded):
+        keys = list(range(64))
+        sharded.multi_put(keys, [b"v" * 4 for _ in keys])
+        sharded.multi_get(keys)
+        sharded.get(0)
+        sharded.delete(1)
+        stats = sharded.stats
+        assert stats.puts == 64
+        assert stats.gets == 65
+        assert stats.deletes == 1
+        assert stats.puts == sum(child.stats.puts for child in sharded.shards)
+        assert stats.gets == sum(child.stats.gets for child in sharded.shards)
+        assert sum(stats.extra["shard_ops"]) == 64 + 64 + 1 + 1
+
+    def test_balance_counts_routed_ops(self, sharded):
+        sharded.multi_put(list(range(100)), [b"v"] * 100)
+        assert sum(sharded.balance()) == 100
+        assert sharded.imbalance() >= 1.0
+
+
+class TestRebalance:
+    def test_rebalance_preserves_contents(self, sharded, tmp_path):
+        keys = list(range(300))
+        sharded.multi_put(keys, [key.to_bytes(4, "little") for key in keys])
+        moved = sharded.rebalance(
+            lambda index: FasterKV(str(tmp_path / f"new{index}")), num_shards=3
+        )
+        try:
+            assert dict(moved.scan()) == dict(sharded.scan())
+            assert moved.num_shards == 3
+            # Routing in the new store is consistent with its own hash.
+            for key in (0, 17, 255):
+                assert moved.shards[moved.shard_of(key)].get(key) is not None
+        finally:
+            moved.close()
+
+    def test_rebalance_only_moves_rehashed_keys(self, sharded, tmp_path):
+        keys = list(range(400))
+        sharded.multi_put(keys, [b"v"] * 400)
+        moved = sharded.rebalance(
+            lambda index: FasterKV(str(tmp_path / f"r{index}")), num_shards=8
+        )
+        try:
+            stayed = sum(
+                1
+                for key in keys
+                if shard_hash(key) % 8 == shard_hash(key) % 4
+            )
+            # Keys whose bucket is unchanged must land on the same index.
+            for key in keys:
+                if shard_hash(key) % 8 == shard_hash(key) % 4:
+                    assert moved.shards[sharded.shard_of(key)].get(key) is not None
+            assert 0 < stayed < len(keys)
+        finally:
+            moved.close()
+
+
+class TestMLKVPassthroughs:
+    def test_lookahead_and_staleness_bound_fan_out(self, tmp_path):
+        store = ShardedKVStore(
+            lambda index: MLKV(
+                str(tmp_path / f"mlkv{index}"),
+                staleness_bound=index + 3,
+                memory_budget_bytes=1 << 15,
+            ),
+            num_shards=2,
+        )
+        try:
+            keys = list(range(3000))
+            store.multi_put(keys, [bytes(40) for _ in keys])
+            assert store.staleness_bound == 3  # tightest child bound
+            copied = store.lookahead(keys)
+            assert copied > 0  # small buffers forced records to disk
+            committed = store.read_committed_many([5, 40000, 2])
+            assert committed[0] is not None and committed[1] is None
+        finally:
+            store.close()
+
+    def test_mixed_children_have_no_staleness_bound(self, tmp_path):
+        store = ShardedKVStore(
+            lambda index: FasterKV(str(tmp_path / f"plain{index}")), num_shards=2
+        )
+        try:
+            assert getattr(store, "staleness_bound", None) is None
+        finally:
+            store.close()
+
+    def test_len_works_with_unsized_children(self, tmp_path):
+        kinds = ["faster", "lsm", "btree", "mlkv"]
+        store = ShardedKVStore(
+            lambda index: make_engine(kinds[index], str(tmp_path / f"sz{index}")),
+            num_shards=4,
+        )
+        try:
+            keys = list(range(120))
+            store.multi_put(keys, [b"v"] * 120)
+            assert len(store) == 120  # LSM/B-tree children count via scan
+        finally:
+            store.close()
+
+    def test_shared_ssd_exposed_private_devices_not(self, tmp_path):
+        ssd = SSDModel(SimClock())
+        shared = ShardedKVStore(
+            lambda index: FasterKV(str(tmp_path / f"sh{index}"), ssd=ssd),
+            num_shards=2,
+        )
+        private = ShardedKVStore(
+            lambda index: FasterKV(str(tmp_path / f"pr{index}")), num_shards=2
+        )
+        try:
+            assert shared.ssd is ssd
+            assert getattr(private, "ssd", None) is None
+        finally:
+            shared.close()
+            private.close()
+
+
+class TestBatchedEqualsLooped:
+    """Property test: the batched hot paths are behavior-identical to the
+    per-key loop on every engine, including disk-resident records,
+    overwrites, value-length changes (RCU paths) and duplicate keys."""
+
+    @pytest.mark.parametrize("kind", ENGINES)
+    def test_multi_get_matches_looped_get(self, kind, tmp_path):
+        rng = np.random.default_rng(42)
+        store = make_engine(kind, str(tmp_path / "one"))
+        try:
+            keys = rng.integers(0, 800, 1200)
+            values = [bytes([int(key) % 251]) * (8 + int(key) % 5) for key in keys]
+            store.multi_put([int(key) for key in keys], values)
+            probe = [int(key) for key in rng.integers(0, 1000, 500)]
+            probe += probe[:50]  # duplicates
+            batched = store.multi_get(probe)
+            looped = [store.get(key) for key in probe]
+            assert batched == looped
+        finally:
+            store.close()
+
+    @pytest.mark.parametrize("kind", ENGINES)
+    def test_multi_put_matches_looped_put(self, kind, tmp_path):
+        rng = np.random.default_rng(7)
+        batched_store = make_engine(kind, str(tmp_path / "batched"))
+        looped_store = make_engine(kind, str(tmp_path / "looped"))
+        try:
+            for round_no in range(4):
+                keys = [int(key) for key in rng.integers(0, 300, 400)]
+                # Varying lengths force read-copy-update appends in the
+                # hybrid log and node growth in the B+tree.
+                values = [
+                    bytes([(key + round_no) % 251]) * (4 + (key + round_no) % 7)
+                    for key in keys
+                ]
+                batched_store.multi_put(keys, values)
+                for key, value in zip(keys, values):
+                    looped_store.put(key, value)
+            assert dict(batched_store.scan()) == dict(looped_store.scan())
+            probe = [int(key) for key in rng.integers(0, 350, 300)]
+            assert batched_store.multi_get(probe) == [
+                looped_store.get(key) for key in probe
+            ]
+        finally:
+            batched_store.close()
+            looped_store.close()
+
+    def test_sharded_batched_equals_looped(self, tmp_path):
+        """The composition preserves the property end to end."""
+        rng = np.random.default_rng(3)
+        kinds = ["faster", "mlkv", "lsm", "btree"]
+        store = ShardedKVStore(
+            lambda index: make_engine(kinds[index], str(tmp_path / f"mix{index}")),
+            num_shards=4,
+        )
+        try:
+            keys = [int(key) for key in rng.integers(0, 500, 800)]
+            values = [bytes([key % 251]) * (6 + key % 4) for key in keys]
+            store.multi_put(keys, values)
+            probe = [int(key) for key in rng.integers(0, 600, 400)]
+            assert store.multi_get(probe) == [store.get(key) for key in probe]
+        finally:
+            store.close()
+
+    @pytest.mark.parametrize("kind", ENGINES)
+    def test_batched_is_not_slower_on_simulated_clock(self, kind, tmp_path):
+        """Amortization must show up as simulated time saved."""
+        looped_store = make_engine(kind, str(tmp_path / "slow"))
+        batched_store = make_engine(kind, str(tmp_path / "fast"))
+        try:
+            keys = list(range(2000))
+            values = [bytes(32) for _ in keys]
+            for store in (looped_store, batched_store):
+                store.multi_put(keys, values)
+                store.clock.drain()
+            start = looped_store.clock.now
+            for key in keys:
+                looped_store.get(key)
+            looped_store.clock.drain()
+            looped_elapsed = looped_store.clock.now - start
+            start = batched_store.clock.now
+            batched_store.multi_get(keys)
+            batched_store.clock.drain()
+            batched_elapsed = batched_store.clock.now - start
+            assert batched_elapsed <= looped_elapsed
+        finally:
+            looped_store.close()
+            batched_store.close()
