@@ -4,10 +4,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke lint
+.PHONY: test test-recovery bench bench-smoke lint
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Crash-injection / durability suite on its own, so recovery flakes are
+# attributable to recovery code and not the wider test run.
+test-recovery:
+	$(PYTHON) -m pytest tests/test_recovery.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q

@@ -25,6 +25,8 @@ configuration of §IV-E (memory overhead only, no CPU overhead).
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -39,6 +41,9 @@ CLOCK_OVERHEAD_SECONDS = 0.08e-6
 
 #: Give up after this many stall-handler invocations for one Get.
 _MAX_STALL_ROUNDS = 1_000_000
+
+#: Sidecar persisting the vector-clock state across checkpoint/restore.
+_STALENESS_FILE = "mlkv.staleness.json"
 
 
 @dataclass
@@ -359,6 +364,57 @@ class MLKV(FasterKV):
                     copied += 1
         self.mlkv_stats.lookahead_copied += copied
         return copied
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """FASTER checkpoint plus the vector-clock state.
+
+        In-memory word staleness needs no separate handling: the flushed
+        log pages carry every record's packed word, staleness included.
+        Only the overflow table — the *delta* accumulated by Gets served
+        while a record was disk-resident, folded onto the word by
+        :meth:`lookahead` — must ride along as a sidecar, exactly as it
+        stood, so a resumed run sees the same per-key admission state the
+        killed run had.
+        """
+        super().checkpoint()
+        path = os.path.join(self.directory, _STALENESS_FILE)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(
+                {"staleness_bound": self.staleness_bound,
+                 "overflow": {
+                     str(key): value
+                     for key, value in self._overflow_staleness.items()
+                 }},
+                f,
+            )
+        os.replace(tmp, path)
+
+    @classmethod
+    def restore(cls, directory: str, **kwargs) -> "MLKV":
+        """Reopen from a durable image, reloading the vector-clock state.
+
+        The checkpointed ``staleness_bound`` is re-applied unless the
+        caller overrides it — a BSP/SSP store must not silently reopen as
+        ASP, or the resumed run's admission behavior would diverge from
+        the killed run's.
+        """
+        bound_overridden = "staleness_bound" in kwargs
+        store = cls.recover(directory, **kwargs)
+        path = os.path.join(directory, _STALENESS_FILE)
+        if os.path.exists(path):
+            with open(path) as f:
+                saved = json.load(f)
+            if not bound_overridden:
+                store.staleness_bound = saved["staleness_bound"]
+            store._overflow_staleness = {
+                int(key): value for key, value in saved["overflow"].items()
+            }
+            store.mlkv_stats.overflow_entries = len(store._overflow_staleness)
+        return store
 
     # ------------------------------------------------------------------
     def _run_stall_handler(self, key: int) -> None:

@@ -7,9 +7,12 @@ opaque ``bytes``.  The embedding layer above serializes vectors with
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
+
+from repro.errors import CheckpointError
 
 #: Fraction of the per-operation CPU cost charged for each key inside a
 #: batched operation.  The remainder of a full op cost is paid once per
@@ -32,6 +35,66 @@ class StoreStats:
     def hit_ratio(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+def walk_image_files(root: str) -> list[str]:
+    """Relative paths of every durable file under ``root``, sorted.
+
+    The single definition of what belongs to a checkpoint image:
+    everything except in-flight temporaries (``*.tmp``).  Shared by
+    :meth:`CheckpointManager.checkpoint_files` and the uploader's
+    duck-typed fallback so the two can never disagree.
+    """
+    found: list[str] = []
+    for dirpath, _, filenames in os.walk(root):
+        for name in filenames:
+            if name.endswith(".tmp"):
+                continue
+            found.append(os.path.relpath(os.path.join(dirpath, name), root))
+    return sorted(found)
+
+
+class CheckpointManager(ABC):
+    """Durability contract implemented by every persistent engine.
+
+    A checkpoint is a crash-consistent on-disk image rooted at
+    :meth:`checkpoint_root`; :meth:`checkpoint_files` enumerates the files
+    making up the image so an uploader (``CloudCheckpointer``) can diff
+    successive images and copy only what changed.  :meth:`restore` is the
+    inverse: reopen a store from a directory holding such an image —
+    whether left behind by a crash or downloaded from a bucket.
+    """
+
+    @abstractmethod
+    def checkpoint(self) -> None:
+        """Persist a crash-consistent image under :meth:`checkpoint_root`.
+
+        After this returns, every acknowledged write is recoverable by
+        :meth:`restore` from the file set :meth:`checkpoint_files` names.
+        """
+
+    def checkpoint_root(self) -> str:
+        """Base directory containing the durable image."""
+        root = getattr(self, "directory", None)
+        if root is None:
+            raise CheckpointError(
+                f"{type(self).__name__} has no checkpoint directory"
+            )
+        return root
+
+    def checkpoint_files(self) -> list[str]:
+        """Relative paths of every file in the durable image, sorted.
+
+        The default walks :meth:`checkpoint_root` recursively, skipping
+        in-flight temporaries (``*.tmp``).  Engines whose directories hold
+        non-durable scratch files override this.
+        """
+        return walk_image_files(self.checkpoint_root())
+
+    @classmethod
+    @abstractmethod
+    def restore(cls, directory: str, **kwargs) -> "KVStore":
+        """Reopen a store from the durable image in ``directory``."""
 
 
 class KVStore(ABC):

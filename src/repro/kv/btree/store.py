@@ -21,7 +21,7 @@ from typing import Callable, Iterator, Optional
 from repro.device.clock import SimClock
 from repro.device.ssd import SSDModel
 from repro.errors import StorageError
-from repro.kv.api import KVStore, StoreStats
+from repro.kv.api import CheckpointManager, KVStore, StoreStats
 from repro.kv.common.cache import ClockCache
 from repro.kv.btree.pager import PageStore
 
@@ -78,7 +78,7 @@ class _Node:
         return node
 
 
-class BTreeKV(KVStore):
+class BTreeKV(KVStore, CheckpointManager):
     """Copy-on-write B+tree store (WiredTiger stand-in).
 
     Parameters
@@ -353,6 +353,15 @@ class BTreeKV(KVStore):
         if self.pager.garbage_ratio() > 0.5:
             self.pager.compact()
         self.pager.checkpoint(os.path.join(self.directory, _META), self.root_page)
+
+    @classmethod
+    def restore(cls, directory: str, **kwargs) -> "BTreeKV":
+        """Reopen from a durable image (the constructor recovers from the
+        checkpoint metadata when it exists)."""
+        meta_path = os.path.join(directory, _META)
+        if not os.path.exists(meta_path):
+            raise StorageError(f"no checkpoint metadata in {directory}")
+        return cls(directory, **kwargs)
 
     def close(self) -> None:
         if not self._closed:

@@ -50,6 +50,11 @@ class LRUCache:
 
     def put(self, key: object, value: object) -> None:
         if self.capacity == 0:
+            # Zero capacity is write-through: the entry is evicted at
+            # admission, and the callback must still fire so dirty-page
+            # write-back is never silently skipped.
+            if self._on_evict is not None:
+                self._on_evict(key, value)
             return
         if key in self._entries:
             self._entries.move_to_end(key)
@@ -81,8 +86,8 @@ class ClockCache:
         capacity: int,
         on_evict: Optional[Callable[[object, object], None]] = None,
     ) -> None:
-        if capacity <= 0:
-            raise ValueError("capacity must be positive")
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
         self.capacity = capacity
         self._values: dict = {}
         self._referenced: dict = {}
@@ -107,6 +112,12 @@ class ClockCache:
         return default
 
     def put(self, key: object, value: object) -> None:
+        if self.capacity == 0:
+            # Same write-through contract as LRUCache: never drop a value
+            # without giving the eviction callback a chance to persist it.
+            if self._on_evict is not None:
+                self._on_evict(key, value)
+            return
         if key in self._values:
             self._values[key] = value
             self._referenced[key] = True

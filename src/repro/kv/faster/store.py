@@ -29,7 +29,7 @@ from typing import Callable, Iterator, Optional
 from repro.device.clock import SimClock
 from repro.device.ssd import SSDModel
 from repro.errors import CheckpointError, StorageError
-from repro.kv.api import KVStore, StoreStats
+from repro.kv.api import CheckpointManager, KVStore, StoreStats
 from repro.kv.faster.epoch import EpochManager
 from repro.kv.faster.hashindex import HashIndex
 from repro.kv.faster.hybridlog import TOMBSTONE_LEN, HybridLog
@@ -48,7 +48,7 @@ _INDEX_FILE = "faster.index.bin"
 _LOG_FILE = "faster.log"
 
 
-class FasterKV(KVStore):
+class FasterKV(KVStore, CheckpointManager):
     """Single-node FASTER-style store with a file-backed hybrid log.
 
     Parameters
@@ -265,22 +265,26 @@ class FasterKV(KVStore):
         cls,
         directory: str,
         ssd: Optional[SSDModel] = None,
-        memory_budget_bytes: int = 1 << 22,
-        page_bytes: int = 1 << 15,
-        mutable_fraction: float = 0.9,
+        **store_kwargs,
     ) -> "FasterKV":
-        """Rebuild a store from its checkpoint files."""
+        """Rebuild a store from its checkpoint files.
+
+        ``store_kwargs`` are forwarded to the constructor (subclasses add
+        their own knobs, e.g. MLKV's ``staleness_bound``); ``page_bytes``
+        always comes from the checkpoint metadata so recovered log
+        addresses stay valid.
+        """
         meta_path = os.path.join(directory, _META_FILE)
         if not os.path.exists(meta_path):
             raise CheckpointError(f"no checkpoint metadata in {directory}")
         with open(meta_path) as f:
             meta = json.load(f)
+        store_kwargs.pop("page_bytes", None)
         store = cls(
             directory,
             ssd=ssd,
-            memory_budget_bytes=memory_budget_bytes,
             page_bytes=meta["page_bytes"],
-            mutable_fraction=mutable_fraction,
+            **store_kwargs,
         )
         store.log.tail_address = meta["tail_address"]
         # After recovery the whole log body lives on disk; reads fault in.
@@ -310,6 +314,11 @@ class FasterKV(KVStore):
                 else:
                     store.index.upsert(key, address)
         return store
+
+    @classmethod
+    def restore(cls, directory: str, **kwargs) -> "FasterKV":
+        """Reopen from a durable image (:class:`CheckpointManager` API)."""
+        return cls.recover(directory, **kwargs)
 
     # ------------------------------------------------------------------
     def _charge_cpu(self) -> None:

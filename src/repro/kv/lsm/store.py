@@ -16,7 +16,7 @@ from typing import Callable, Iterator, Optional
 from repro.device.clock import SimClock
 from repro.device.ssd import SSDModel
 from repro.errors import StorageError
-from repro.kv.api import KVStore, StoreStats
+from repro.kv.api import CheckpointManager, KVStore, StoreStats
 from repro.kv.common.cache import LRUCache
 from repro.kv.lsm.compaction import LeveledPolicy, merge_runs
 from repro.kv.lsm.memtable import MemTable
@@ -28,7 +28,7 @@ DEFAULT_OP_CPU_SECONDS = 1.1e-6
 _MANIFEST = "lsm.manifest.json"
 
 
-class LsmKV(KVStore):
+class LsmKV(KVStore, CheckpointManager):
     """Leveled LSM-tree store (RocksDB stand-in).
 
     Parameters
@@ -95,7 +95,11 @@ class LsmKV(KVStore):
     def delete(self, key: int) -> bool:
         self._charge_cpu()
         self._stats.deletes += 1
-        existed = self.get(key) is not None
+        # Existence probe through the internal lookup: user-facing get/hit/
+        # miss counters and the per-op CPU charge stay untouched (the
+        # probe still pays real device I/O when it has to go to disk).
+        found, value, _ = self._lookup(key, count_cache=False)
+        existed = found and value is not None
         self.wal.append_delete(key)
         self.memtable.delete(key)
         self._maybe_flush()
@@ -104,41 +108,78 @@ class LsmKV(KVStore):
     def get(self, key: int) -> Optional[bytes]:
         self._charge_cpu()
         self._stats.gets += 1
+        found, value, from_memory = self._lookup(key)
+        # Per-get accounting mirrors FASTER: a live value served without
+        # touching the SSD is a hit; disk-resident values, tombstones and
+        # absent keys are misses.
+        if found and value is not None and from_memory:
+            self._stats.hits += 1
+        else:
+            self._stats.misses += 1
+        return value if found else None
+
+    def _all_runs(self) -> list[SSTable]:
+        """Runs in probe order: L0 newest-first, then the levels."""
+        return self.l0_runs + [self.levels[level] for level in sorted(self.levels)]
+
+    def _lookup(
+        self, key: int, count_cache: bool = True
+    ) -> tuple[bool, Optional[bytes], bool]:
+        """One probe of memtable then runs; no stats or CPU accounting.
+
+        Returns ``(found, value, from_memory)`` where ``value`` is ``None``
+        for tombstones and ``from_memory`` says whether the probe finished
+        without any disk read.  ``count_cache=False`` additionally leaves
+        the block-cache hit/miss counters (and recency) untouched — the
+        internal existence probe of :meth:`delete` uses that.
+        """
         found, value = self.memtable.get(key)
         if found:
-            self._stats.hits += 1
-            return value
-        for run in self.l0_runs:
-            found, value = self._search_run(run, key)
+            return True, value, True
+        touched_disk = False
+        for run in self._all_runs():
+            found, value, from_cache = self._search_run(run, key, count_cache)
+            touched_disk = touched_disk or not from_cache
             if found:
-                return value
-        for level in sorted(self.levels):
-            found, value = self._search_run(self.levels[level], key)
-            if found:
-                return value
-        self._stats.misses += 1
-        return None
+                return True, value, not touched_disk
+        return False, None, not touched_disk
 
-    def _search_run(self, run: SSTable, key: int) -> tuple[bool, Optional[bytes]]:
+    def _search_run(
+        self, run: SSTable, key: int, count_cache: bool = True
+    ) -> tuple[bool, Optional[bytes], bool]:
+        """Probe one run; returns ``(found, value, from_cache)``.
+
+        ``from_cache`` is ``True`` when no disk read was needed (including
+        the bloom/fence-pruned case where no block was touched at all).
+        """
         if not run.may_contain(key):
-            return False, None
+            return False, None, True
         block_no = run.block_for(key)
         if block_no is None:
-            return False, None
-        block = self._load_block(run, block_no)
-        return SSTable.search_block(block, key)
+            return False, None, True
+        block, from_cache = self._load_block(run, block_no, count_cache)
+        found, value = SSTable.search_block(block, key)
+        return found, value, from_cache
 
-    def _load_block(self, run: SSTable, block_no: int) -> bytes:
-        """Fetch an SSTable block through the cache, counting hit/miss."""
+    def _load_block(
+        self, run: SSTable, block_no: int, count_cache: bool = True
+    ) -> tuple[bytes, bool]:
+        """Fetch an SSTable block through the cache.
+
+        Returns ``(block, from_cache)``.  The block cache keeps its own
+        hit/miss counters (skipped when ``count_cache=False``); operation
+        level hit/miss accounting happens in the callers.
+        """
         cache_key = (run.path, block_no)
-        block = self.block_cache.get(cache_key)
+        if count_cache:
+            block = self.block_cache.get(cache_key)
+        else:
+            block = self.block_cache.peek(cache_key)
         if block is None:
             block = run.read_block(block_no, self.ssd, blocking=True)
             self.block_cache.put(cache_key, block)
-            self._stats.misses += 1
-        else:
-            self._stats.hits += 1
-        return block
+            return block, False
+        return block, True
 
     def multi_get(self, keys) -> list:
         """Batched get: one memtable pass, then run probes grouped by block.
@@ -157,12 +198,15 @@ class LsmKV(KVStore):
         for position, key in enumerate(keys):
             found, value = self.memtable.get(key)
             if found:
-                self._stats.hits += 1
+                if value is not None:
+                    self._stats.hits += 1
+                else:
+                    self._stats.misses += 1  # tombstone: key is absent
                 results[position] = value
             else:
                 unresolved.setdefault(key, []).append(position)
-        runs = self.l0_runs + [self.levels[lv] for lv in sorted(self.levels)]
-        for run in runs:
+        disk_touched: set[int] = set()  # keys whose probe read from disk
+        for run in self._all_runs():
             if not unresolved:
                 break
             by_block: dict[int, list[int]] = {}
@@ -173,11 +217,18 @@ class LsmKV(KVStore):
                 if block_no is not None:
                     by_block.setdefault(block_no, []).append(key)
             for block_no in sorted(by_block):
-                block = self._load_block(run, block_no)
+                block, from_cache = self._load_block(run, block_no)
+                if not from_cache:
+                    disk_touched.update(by_block[block_no])
                 for key in by_block[block_no]:
                     found, value = SSTable.search_block(block, key)
                     if found:
-                        for position in unresolved.pop(key):
+                        positions = unresolved.pop(key)
+                        if value is not None and key not in disk_touched:
+                            self._stats.hits += len(positions)
+                        else:
+                            self._stats.misses += len(positions)
+                        for position in positions:
                             results[position] = value
         for positions in unresolved.values():
             self._stats.misses += len(positions)
@@ -204,7 +255,7 @@ class LsmKV(KVStore):
         self._maybe_flush()
 
     def scan(self) -> Iterator[tuple[int, bytes]]:
-        runs = self.l0_runs + [self.levels[lv] for lv in sorted(self.levels)]
+        runs = self._all_runs()
         merged = merge_runs(runs, self.ssd, drop_tombstones=False) if runs else iter(())
         # Overlay the memtable (newest data) over the merged runs.
         mem = dict(self.memtable.items())
@@ -234,7 +285,14 @@ class LsmKV(KVStore):
             self.flush()
 
     def flush(self) -> None:
-        """Flush the memtable to a new L0 run and truncate the WAL."""
+        """Flush the memtable to a new L0 run and truncate the WAL.
+
+        Ordering is the crash-safety invariant: the new run is made
+        visible in the manifest *before* the WAL covering it is
+        discarded.  A crash between the two leaves both the run and the
+        WAL on disk — replay is idempotent, so recovery applies the same
+        mutations twice rather than losing them.
+        """
         if len(self.memtable) == 0:
             return
         run = SSTable.build(
@@ -247,10 +305,10 @@ class LsmKV(KVStore):
             self.l0_runs.insert(0, run)
             self._stats.extra["flushes"] += 1
         self.memtable = MemTable(seed=self._next_file_id)
+        self._write_manifest()
         self.wal.truncate()
         if self.policy.needs_l0_compaction(len(self.l0_runs)):
             self._compact_l0()
-        self._write_manifest()
 
     def _compact_l0(self) -> None:
         inputs = list(self.l0_runs)
@@ -261,14 +319,17 @@ class LsmKV(KVStore):
         new_run = SSTable.build(
             self._new_run_path(), merged, self.ssd, block_bytes=self.block_bytes
         )
-        for run in inputs:
-            run.remove_files()
         self.l0_runs = []
         if new_run is not None:
             self.levels[1] = new_run
         else:
             self.levels.pop(1, None)
         self._stats.extra["compactions"] += 1
+        # Manifest first, then reclaim: a crash here strands orphan run
+        # files (harmless) instead of a manifest pointing at deleted ones.
+        self._write_manifest()
+        for run in inputs:
+            run.remove_files()
         self._cascade(1)
 
     def _cascade(self, level: int) -> None:
@@ -283,14 +344,15 @@ class LsmKV(KVStore):
         new_run = SSTable.build(
             self._new_run_path(), merged, self.ssd, block_bytes=self.block_bytes
         )
-        for old in inputs:
-            old.remove_files()
         self.levels.pop(level, None)
         if new_run is not None:
             self.levels[level + 1] = new_run
         else:
             self.levels.pop(level + 1, None)
         self._stats.extra["compactions"] += 1
+        self._write_manifest()
+        for old in inputs:
+            old.remove_files()
         self._cascade(level + 1)
 
     # ------------------------------------------------------------------
@@ -301,15 +363,26 @@ class LsmKV(KVStore):
         return os.path.join(self.directory, f"sst_{self._next_file_id:06d}.data")
 
     def _write_manifest(self) -> None:
+        # Run paths are stored relative to the directory so a checkpoint
+        # image restores into any location (a fresh node, a download dir).
         manifest = {
             "next_file_id": self._next_file_id,
-            "l0": [run.path for run in self.l0_runs],
-            "levels": {str(lv): run.path for lv, run in self.levels.items()},
+            "l0": [os.path.basename(run.path) for run in self.l0_runs],
+            "levels": {
+                str(lv): os.path.basename(run.path)
+                for lv, run in self.levels.items()
+            },
         }
         tmp = os.path.join(self.directory, _MANIFEST + ".tmp")
         with open(tmp, "w") as f:
             json.dump(manifest, f)
         os.replace(tmp, os.path.join(self.directory, _MANIFEST))
+
+    def _run_path(self, name: str) -> str:
+        """Resolve a manifest entry (absolute entries predate this PR)."""
+        if os.path.isabs(name):
+            return name
+        return os.path.join(self.directory, name)
 
     def _maybe_recover(self) -> None:
         manifest_path = os.path.join(self.directory, _MANIFEST)
@@ -317,9 +390,10 @@ class LsmKV(KVStore):
             with open(manifest_path) as f:
                 manifest = json.load(f)
             self._next_file_id = manifest["next_file_id"]
-            self.l0_runs = [SSTable.open(path) for path in manifest["l0"]]
+            self.l0_runs = [SSTable.open(self._run_path(path)) for path in manifest["l0"]]
             self.levels = {
-                int(lv): SSTable.open(path) for lv, path in manifest["levels"].items()
+                int(lv): SSTable.open(self._run_path(path))
+                for lv, path in manifest["levels"].items()
             }
         # Replay any WAL entries that never reached an SSTable.
         wal_path = os.path.join(self.directory, "lsm.wal")
@@ -329,6 +403,22 @@ class LsmKV(KVStore):
                     self.memtable.delete(key)
                 else:
                     self.memtable.put(key, value)
+
+    def checkpoint(self) -> None:
+        """Make every acknowledged write durable without forcing a flush.
+
+        The durable image of an LSM store is *runs + manifest + WAL*: the
+        WAL sync persists the memtable's backing mutations, so recovery
+        replays them — no tiny L0 runs are created by frequent
+        checkpoints.
+        """
+        self.wal.sync()
+        self._write_manifest()
+
+    @classmethod
+    def restore(cls, directory: str, **kwargs) -> "LsmKV":
+        """Reopen from a durable image (recovery runs in ``__init__``)."""
+        return cls(directory, **kwargs)
 
     def _charge_cpu(self) -> None:
         if self.op_cpu_seconds:

@@ -8,17 +8,27 @@ truncated whenever the memtable it covers has been flushed to an SSTable.
 
 from __future__ import annotations
 
+import logging
 import os
 import struct
 from typing import Iterator, Optional
 
 from repro.device.ssd import SSDModel
-from repro.kv.common.serialization import decode_record, encode_record
-from repro.errors import StorageError
+from repro.kv.common.serialization import decode_record, encode_record, record_size
 
 _OP_PUT = 0x01
 _OP_DELETE = 0x02
 _TAG = struct.Struct("<B")
+
+#: Size of a record's [u64 key][u32 value_len] header, and the struct to
+#: peek the claimed value length (mirrors the shared record encoding).
+_REC_HEADER_SIZE = record_size(0)
+_VALUE_LEN = struct.Struct("<I")
+
+#: Replay reads the log in chunks of this size instead of slurping it.
+REPLAY_CHUNK_BYTES = 1 << 20
+
+logger = logging.getLogger(__name__)
 
 
 class WriteAheadLog:
@@ -80,19 +90,83 @@ class WriteAheadLog:
         self._file.close()
         self._file = open(self.path, "wb")
 
-    def replay(self) -> Iterator[tuple[int, Optional[bytes]]]:
-        """Yield ``(key, value_or_None)`` mutations in append order."""
+    def replay(
+        self, chunk_bytes: int = REPLAY_CHUNK_BYTES
+    ) -> Iterator[tuple[int, Optional[bytes]]]:
+        """Yield ``(key, value_or_None)`` mutations in append order.
+
+        The log streams through a bounded buffer (``chunk_bytes`` at a
+        time) rather than being slurped whole, so replay memory does not
+        scale with log size.  A torn final record — exactly what a crash
+        mid-append leaves behind — is truncated away with a warning
+        instead of failing recovery: everything before the tear is
+        replayed, the partial tail is discarded, and the file is trimmed
+        so subsequent appends start at a clean record boundary.  A record
+        header whose claimed length exceeds the bytes remaining in the
+        file is recognized as torn immediately (without buffering the
+        rest of the log), which also keeps a corrupted length field from
+        defeating the memory bound.
+        """
         self._file.flush()
+        file_size = os.path.getsize(self.path)
+        good_offset = 0  # file offset just past the last fully-decoded record
+        buffer = b""
         with open(self.path, "rb") as f:
-            data = f.read()
-        offset = 0
-        while offset < len(data):
-            try:
-                (op,) = _TAG.unpack_from(data, offset)
-                key, value, offset = decode_record(data, offset + _TAG.size)
-            except (struct.error, ValueError) as exc:
-                raise StorageError(f"corrupt WAL at offset {offset}") from exc
-            yield key, (value if op == _OP_PUT else None)
+            eof = False
+            while True:
+                consumed = 0
+                torn = False
+                while consumed < len(buffer):
+                    header_end = consumed + _TAG.size + _REC_HEADER_SIZE
+                    if header_end <= len(buffer):
+                        (value_len,) = _VALUE_LEN.unpack_from(
+                            buffer, header_end - _VALUE_LEN.size
+                        )
+                        needed = _TAG.size + _REC_HEADER_SIZE + value_len
+                        if good_offset + consumed + needed > file_size:
+                            # The claimed record cannot fit in what is left
+                            # of the file: framing is lost from here on.
+                            torn = True
+                            break
+                    try:
+                        (op,) = _TAG.unpack_from(buffer, consumed)
+                        key, value, end = decode_record(buffer, consumed + _TAG.size)
+                    except (struct.error, ValueError):
+                        # Not enough bytes buffered for a whole record: the
+                        # record straddles the chunk boundary (read more)
+                        # or the log ends mid-header (torn tail at EOF).
+                        break
+                    consumed = end
+                    yield key, (value if op == _OP_PUT else None)
+                good_offset += consumed
+                buffer = buffer[consumed:]
+                if torn or (eof and buffer):
+                    logger.warning(
+                        "WAL %s has a torn record at offset %d "
+                        "(%d bytes discarded); truncating to the last "
+                        "complete record",
+                        self.path,
+                        good_offset,
+                        file_size - good_offset,
+                    )
+                    self._truncate_to(good_offset)
+                    return
+                if eof:
+                    return
+                # Read more whether the buffer drained or a record spans
+                # the chunk boundary (records may exceed one chunk).
+                chunk = f.read(chunk_bytes)
+                if not chunk:
+                    eof = True
+                    continue
+                self.ssd.sequential_read(len(chunk), blocking=True)
+                buffer += chunk
+
+    def _truncate_to(self, offset: int) -> None:
+        """Trim the log to ``offset`` so appends resume on a clean boundary."""
+        self._file.flush()
+        with open(self.path, "r+b") as f:
+            f.truncate(offset)
 
     def close(self) -> None:
         self.sync()

@@ -23,12 +23,17 @@ sparse-feature id ranges (0..n) spread uniformly instead of striping by
 
 from __future__ import annotations
 
+import importlib
+import json
+import os
 from typing import Callable, Iterator, Optional, Sequence
 
-from repro.errors import ConfigError
-from repro.kv.api import KVStore, StoreStats
+from repro.errors import CheckpointError, ConfigError
+from repro.kv.api import CheckpointManager, KVStore, StoreStats
 
 _MASK64 = (1 << 64) - 1
+
+_MANIFEST = "sharded.manifest.json"
 
 
 def shard_hash(key: int) -> int:
@@ -39,7 +44,7 @@ def shard_hash(key: int) -> int:
     return (x ^ (x >> 31)) & _MASK64
 
 
-class ShardedKVStore(KVStore):
+class ShardedKVStore(KVStore, CheckpointManager):
     """Hash-partitioned store fanning out to N child engines.
 
     Parameters
@@ -52,21 +57,33 @@ class ShardedKVStore(KVStore):
     num_shards:
         Number of partitions; fixed for the store's lifetime (use
         :meth:`rebalance` to move to a different count).
+    directory:
+        Optional base directory for *coordinated* checkpoints: when every
+        shard's own directory lives under it, :meth:`checkpoint` writes a
+        manifest binding the per-shard images into one restorable unit.
     """
 
-    def __init__(self, factory: Callable[[int], KVStore], num_shards: int) -> None:
+    def __init__(
+        self,
+        factory: Callable[[int], KVStore],
+        num_shards: int,
+        directory: Optional[str] = None,
+    ) -> None:
         if num_shards <= 0:
             raise ConfigError(f"num_shards must be positive, got {num_shards}")
         self.num_shards = num_shards
+        self.directory = directory
         self.shards: list[KVStore] = [factory(index) for index in range(num_shards)]
         self._shard_ops = [0] * num_shards
         self._closed = False
 
     @classmethod
-    def from_stores(cls, stores: Sequence[KVStore]) -> "ShardedKVStore":
+    def from_stores(
+        cls, stores: Sequence[KVStore], directory: Optional[str] = None
+    ) -> "ShardedKVStore":
         """Wrap already-constructed child engines (one per shard)."""
         stores = list(stores)
-        return cls(lambda index: stores[index], len(stores))
+        return cls(lambda index: stores[index], len(stores), directory=directory)
 
     # ------------------------------------------------------------------
     # routing
@@ -262,12 +279,88 @@ class ShardedKVStore(KVStore):
             raise AttributeError("not every shard enforces a staleness bound")
         return min(bounds)
 
+    # ------------------------------------------------------------------
+    # coordinated checkpoint / restore
+    # ------------------------------------------------------------------
     def checkpoint(self) -> None:
-        """Checkpoint every child that supports it."""
+        """Coordinated checkpoint: every shard, then one binding manifest.
+
+        Each child persists its own crash-consistent image first; the
+        manifest naming all of them is written (atomically) last.  Note
+        the manifest pins shard *locations*, not image versions: a crash
+        between two child checkpoints leaves mixed-epoch shard images on
+        local disk, so cross-shard crash atomicity comes from uploading
+        the unit through :class:`~repro.core.checkpoint.CloudCheckpointer`,
+        whose epoch manifests pin every file by content digest.  Without
+        a base ``directory`` this degrades to the per-shard checkpoints
+        only.
+        """
         for shard in self.shards:
             snap = getattr(shard, "checkpoint", None)
             if snap is not None:
                 snap()
+        if self.directory is None:
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        manifest = {
+            "num_shards": self.num_shards,
+            "shards": [self._shard_relpath(shard) for shard in self.shards],
+            "types": [
+                f"{type(shard).__module__}.{type(shard).__qualname__}"
+                for shard in self.shards
+            ],
+        }
+        tmp = os.path.join(self.directory, _MANIFEST + ".tmp")
+        with open(tmp, "w") as f:
+            json.dump(manifest, f)
+        os.replace(tmp, os.path.join(self.directory, _MANIFEST))
+
+    def _shard_relpath(self, shard: KVStore) -> str:
+        """A child's directory relative to the coordinated base dir."""
+        child_dir = getattr(shard, "directory", None)
+        if child_dir is None:
+            raise CheckpointError(
+                f"shard {type(shard).__name__} has no directory; coordinated "
+                "checkpoints need file-backed children"
+            )
+        rel = os.path.relpath(os.path.abspath(child_dir), os.path.abspath(self.directory))
+        if rel.startswith(os.pardir):
+            raise CheckpointError(
+                f"shard directory {child_dir} is outside the coordinated base "
+                f"{self.directory}; place every shard under the base directory"
+            )
+        return rel
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str,
+        factory: Optional[Callable[[int, str], KVStore]] = None,
+        **kwargs,
+    ) -> "ShardedKVStore":
+        """Reopen a coordinated checkpoint as one sharded store.
+
+        ``factory(shard_index, shard_directory)`` rebuilds one child from
+        its image — use it to re-wire shared SSD/clock models or custom
+        budgets.  When omitted, each child's class recorded in the
+        manifest is imported and its own ``restore`` is called with
+        ``kwargs`` forwarded.
+        """
+        manifest_path = os.path.join(directory, _MANIFEST)
+        if not os.path.exists(manifest_path):
+            raise CheckpointError(f"no coordinated manifest in {directory}")
+        with open(manifest_path) as f:
+            manifest = json.load(f)
+        shards: list[KVStore] = []
+        for index, rel in enumerate(manifest["shards"]):
+            shard_dir = os.path.join(directory, rel)
+            if factory is not None:
+                shards.append(factory(index, shard_dir))
+            else:
+                module_name, _, class_name = manifest["types"][index].rpartition(".")
+                shard_cls = getattr(importlib.import_module(module_name), class_name)
+                shards.append(shard_cls.restore(shard_dir, **kwargs))
+        return cls.from_stores(shards, directory=directory)
 
     # ------------------------------------------------------------------
     # rebalancing

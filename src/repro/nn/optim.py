@@ -99,6 +99,24 @@ class Adam:
         for param in self.parameters:
             param.zero_grad()
 
+    def state_dict(self) -> dict:
+        """Moments and step count, for resumable training checkpoints."""
+        return {
+            "t": self._t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if len(state["m"]) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state covers {len(state['m'])} parameters, "
+                f"model has {len(self.parameters)}"
+            )
+        self._t = state["t"]
+        self._m = [np.array(m, copy=True) for m in state["m"]]
+        self._v = [np.array(v, copy=True) for v in state["v"]]
+
 
 class RowAdagrad:
     """Adagrad over sparse embedding rows fetched from the KV store.
@@ -143,3 +161,17 @@ class RowAdagrad:
     def state_bytes(self) -> int:
         """Size of the in-memory accumulator state (for DESIGN notes)."""
         return sum(acc.nbytes for acc in self._accumulators.values())
+
+    def state_dict(self) -> dict:
+        """Per-row accumulators, for resumable training checkpoints."""
+        return {
+            "accumulators": {
+                key: acc.copy() for key, acc in self._accumulators.items()
+            }
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._accumulators = {
+            int(key): np.asarray(acc, dtype=np.float32).copy()
+            for key, acc in state["accumulators"].items()
+        }

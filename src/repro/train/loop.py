@@ -26,6 +26,8 @@ enforces the bound per key.
 
 from __future__ import annotations
 
+import os
+import pickle
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
@@ -125,6 +127,7 @@ class BaseTrainer:
         self.nn_optimizer = Adam(network.parameters(), lr=config.nn_lr)
         self.pending: deque[tuple[np.ndarray, np.ndarray]] = deque()
         self._result = TrainResult(metric_name=self.metric_name)
+        self._start_step = 0
         handler_sink = getattr(tables.store, "set_stall_handler", None)
         if handler_sink is not None:
             handler_sink(self._on_stall)
@@ -153,8 +156,27 @@ class BaseTrainer:
     # ------------------------------------------------------------------
     # the pipeline
     # ------------------------------------------------------------------
-    def run(self, batches: Sequence, samples_per_batch: Optional[int] = None) -> TrainResult:
-        """Train over ``batches``; returns the accumulated result."""
+    def run(
+        self,
+        batches: Sequence,
+        samples_per_batch: Optional[int] = None,
+        checkpointer=None,
+        checkpoint_every: Optional[int] = None,
+    ) -> TrainResult:
+        """Train over ``batches``; returns the accumulated result.
+
+        When a :class:`~repro.core.checkpoint.CloudCheckpointer` is given,
+        the trainer saves its resume state into the store's checkpoint
+        image and uploads an epoch every ``checkpoint_every`` steps
+        (defaulting to the checkpointer's own ``every_n_steps`` cadence,
+        so there is one cadence knob) — a killed run restarts from the
+        last epoch via :meth:`load_checkpoint` and reproduces the
+        uninterrupted run's loss trajectory step for step.
+
+        After :meth:`load_state_dict` the first ``step`` batches of the
+        schedule are treated as already trained and skipped; pass the
+        *full* batch schedule again when resuming.
+        """
         config = self.config
         result = self._result
         samples_per_batch = samples_per_batch or config.batch_size
@@ -165,15 +187,25 @@ class BaseTrainer:
             distance=config.lookahead_distance,
             conventional_window=self._clamped_window(),
         )
+        if checkpointer is not None and checkpoint_every is None:
+            checkpoint_every = checkpointer.every_n_steps
         start = self.clock.now
         self._run_start = start
         for step, batch in enumerate(batches):
+            if step < self._start_step:
+                continue
             engine.advance(step)
             self._train_one(batch, schedule[step])
             result.steps += 1
             result.samples += samples_per_batch
             if config.eval_every and (step + 1) % config.eval_every == 0:
                 self._record_eval(start)
+            if (
+                checkpointer is not None
+                and checkpoint_every
+                and (step + 1) % checkpoint_every == 0
+            ):
+                self.checkpoint(checkpointer, step + 1)
         self.flush_pending()
         self.clock.drain()
         result.sim_seconds = self.clock.now - start
@@ -233,6 +265,83 @@ class BaseTrainer:
     def flush_pending(self) -> None:
         while self.pending:
             self._apply_oldest()
+
+    # ------------------------------------------------------------------
+    # resumable checkpoints
+    # ------------------------------------------------------------------
+    TRAINER_STATE_FILE = "trainer.state.pkl"
+
+    def state_dict(self, step: Optional[int] = None) -> dict:
+        """Everything a resumed run needs to reproduce this trajectory.
+
+        Embedding *values* live in the store (captured by the store's own
+        checkpoint); this captures the trainer-side state: completed step
+        count, dense network parameters, both optimizer states, the
+        pending (not-yet-applied) update queue, and RNG states.
+        """
+        if step is None:
+            step = self._start_step + self._result.steps
+        rng = getattr(self, "rng", None)
+        return {
+            "step": step,
+            "network": [param.data.copy() for param in self.network.parameters()],
+            "nn_optimizer": self.nn_optimizer.state_dict(),
+            "emb_optimizer": self.emb_optimizer.state_dict(),
+            "pending": [(keys.copy(), rows.copy()) for keys, rows in self.pending],
+            "np_random": np.random.get_state(),
+            "rng": rng.bit_generator.state if rng is not None else None,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore trainer state; the next :meth:`run` resumes after
+        ``state['step']`` batches of its schedule."""
+        parameters = list(self.network.parameters())
+        if len(state["network"]) != len(parameters):
+            raise ConfigError(
+                f"checkpoint holds {len(state['network'])} network tensors, "
+                f"model has {len(parameters)}"
+            )
+        for param, saved in zip(parameters, state["network"]):
+            param.data[...] = saved
+        self.nn_optimizer.load_state_dict(state["nn_optimizer"])
+        self.emb_optimizer.load_state_dict(state["emb_optimizer"])
+        self.pending = deque(
+            (np.array(keys, copy=True), np.array(rows, copy=True))
+            for keys, rows in state["pending"]
+        )
+        self._start_step = state["step"]
+        if state.get("np_random") is not None:
+            np.random.set_state(state["np_random"])
+        rng = getattr(self, "rng", None)
+        if rng is not None and state.get("rng") is not None:
+            rng.bit_generator.state = state["rng"]
+
+    def save_checkpoint(self, path: str, step: Optional[int] = None) -> None:
+        """Pickle :meth:`state_dict` to ``path`` (atomic replace)."""
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as f:
+            pickle.dump(self.state_dict(step), f)
+        os.replace(tmp, path)
+
+    def load_checkpoint(self, path: str) -> None:
+        """Load a state file (or the default file inside a store image)."""
+        if os.path.isdir(path):
+            path = os.path.join(path, self.TRAINER_STATE_FILE)
+        with open(path, "rb") as f:
+            self.load_state_dict(pickle.load(f))
+
+    def checkpoint(self, checkpointer, step: Optional[int] = None) -> Optional[int]:
+        """Save resume state *inside* the store image, then upload an epoch.
+
+        The pickle lands under the store's checkpoint root, so the
+        incremental uploader ships trainer state and store state as one
+        atomic epoch — a restore hands back both or neither.
+        """
+        store = self.tables.store
+        root_fn = getattr(store, "checkpoint_root", None)
+        root = root_fn() if root_fn is not None else store.directory
+        self.save_checkpoint(os.path.join(root, self.TRAINER_STATE_FILE), step)
+        return checkpointer.checkpoint()
 
     def _carry_budget(self) -> float:
         """Seconds of background I/O allowed to stay in flight.

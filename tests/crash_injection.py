@@ -1,0 +1,63 @@
+"""Crash-injection harness for the durability tests.
+
+A "crash" in this simulation is: stop calling the store (no ``close()``,
+no final flush) and reopen from whatever reached the filesystem.  The
+helpers here sharpen that into *configurable* kill points:
+
+* :func:`crash_on` arms a method so its N-th call raises
+  :class:`SimulatedCrash` — used to die post-flush-pre-manifest, or
+  mid-upload after a chosen number of objects.
+* :func:`tear_wal_tail` appends half a record to a WAL file, the exact
+  debris a kill mid-``write`` leaves behind.
+
+The invariant every test asserts: after the kill, ``restore()`` yields
+exactly the durably-acknowledged state — every write acknowledged before
+the last successful checkpoint/sync, and no torn one.
+"""
+
+from __future__ import annotations
+
+import struct
+from contextlib import contextmanager
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised at an armed injection point to emulate a process kill."""
+
+
+@contextmanager
+def crash_on(obj, method_name: str, after_calls: int = 0):
+    """Arm ``obj.method_name`` to raise :class:`SimulatedCrash`.
+
+    The first ``after_calls`` invocations run normally (so e.g. a
+    mid-upload crash can land after two objects copied); the next one
+    raises *before* doing any work.  The patch is removed on exit, and
+    the call counter is exposed as the yielded object's ``calls``.
+    """
+    original = getattr(obj, method_name)
+    state = type("CrashState", (), {"calls": 0})()
+
+    def armed(*args, **kwargs):
+        if state.calls >= after_calls:
+            raise SimulatedCrash(
+                f"injected crash in {type(obj).__name__}.{method_name} "
+                f"(call #{state.calls + 1})"
+            )
+        state.calls += 1
+        return original(*args, **kwargs)
+
+    setattr(obj, method_name, armed)
+    try:
+        yield state
+    finally:
+        setattr(obj, method_name, original)
+
+
+def tear_wal_tail(path: str, key: int = 0xDEAD, claimed_len: int = 100) -> None:
+    """Append a torn (incomplete) record to a WAL file.
+
+    Writes a PUT tag and a record header claiming ``claimed_len`` value
+    bytes, then far fewer actual bytes — what a crash mid-append leaves.
+    """
+    with open(path, "ab") as f:
+        f.write(b"\x01" + struct.pack("<QI", key, claimed_len) + b"torn")

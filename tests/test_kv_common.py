@@ -142,6 +142,15 @@ class TestLRUCache:
         cache.put("a", 1)
         assert "a" not in cache
 
+    def test_zero_capacity_writes_through(self):
+        """capacity=0 must not silently drop values: on_evict still fires,
+        so dirty-page write-back survives a cacheless configuration."""
+        written_back = []
+        cache = LRUCache(0, on_evict=lambda k, v: written_back.append((k, v)))
+        cache.put("dirty", 42)
+        assert "dirty" not in cache
+        assert written_back == [("dirty", 42)]
+
     def test_peek_does_not_touch_recency_or_counters(self):
         cache = LRUCache(2)
         cache.put("a", 1)
@@ -229,7 +238,15 @@ class TestClockCache:
 
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
-            ClockCache(0)
+            ClockCache(-1)
+
+    def test_zero_capacity_writes_through(self):
+        """capacity=0 must not silently drop values: on_evict still fires."""
+        written_back = []
+        cache = ClockCache(0, on_evict=lambda k, v: written_back.append((k, v)))
+        cache.put("dirty", 42)
+        assert "dirty" not in cache
+        assert written_back == [("dirty", 42)]
 
 
 class TestSerialization:

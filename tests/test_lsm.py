@@ -59,6 +59,55 @@ class TestWAL:
         assert wal.size_bytes() == 0
         wal.close()
 
+    def test_replay_streams_in_bounded_chunks(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal"), fresh_ssd())
+        expected = []
+        for i in range(200):
+            wal.append_put(i, bytes([i % 251]) * 40)
+            expected.append((i, bytes([i % 251]) * 40))
+        # A chunk far smaller than one record still replays correctly.
+        assert list(wal.replay(chunk_bytes=16)) == expected
+        wal.close()
+
+    def test_replay_tolerates_torn_final_record(self, tmp_path, caplog):
+        path = str(tmp_path / "wal")
+        wal = WriteAheadLog(path, fresh_ssd())
+        wal.append_put(1, b"complete")
+        wal.append_put(2, b"also complete")
+        wal.sync()
+        # Simulate a crash mid-append: half a record at the tail.
+        import struct as _struct
+        with open(path, "ab") as f:
+            f.write(b"\x01" + _struct.pack("<QI", 3, 100) + b"only-a-few-bytes")
+            f.flush()
+        with caplog.at_level("WARNING"):
+            assert list(wal.replay()) == [(1, b"complete"), (2, b"also complete")]
+        assert any("torn" in record.message for record in caplog.records)
+        # The file was trimmed to the last complete record, so appends
+        # resume on a clean boundary and a second replay is quiet.
+        wal.append_put(4, b"after recovery")
+        wal.sync()
+        assert list(wal.replay()) == [
+            (1, b"complete"), (2, b"also complete"), (4, b"after recovery"),
+        ]
+        wal.close()
+
+    def test_replay_bounds_memory_on_bogus_length(self, tmp_path, caplog):
+        """A corrupted length field claiming more bytes than the file holds
+        is recognized as torn immediately, without buffering the rest."""
+        path = str(tmp_path / "wal")
+        wal = WriteAheadLog(path, fresh_ssd())
+        wal.append_put(1, b"good")
+        wal.sync()
+        import struct as _struct
+        with open(path, "ab") as f:
+            # Header claims 1 GiB of value; only a few bytes follow.
+            f.write(b"\x01" + _struct.pack("<QI", 2, 1 << 30) + b"xx")
+        with caplog.at_level("WARNING"):
+            assert list(wal.replay(chunk_bytes=64)) == [(1, b"good")]
+        assert any("torn" in record.message for record in caplog.records)
+        wal.close()
+
     def test_sync_batches_charges(self, tmp_path):
         ssd = fresh_ssd()
         wal = WriteAheadLog(str(tmp_path / "wal"), ssd, sync_every=10)
@@ -203,6 +252,63 @@ class TestLsmStore:
         assert recovered.get(1) == b"unflushed"
         recovered.close()
         store.close()
+
+    def test_delete_leaves_get_stats_and_cpu_untouched(self, tmp_path):
+        """delete()'s existence probe must not inflate user-facing read
+        stats or double-charge CPU (regression: it used to call get())."""
+        with LsmKV(str(tmp_path), memory_budget_bytes=1 << 20) as store:
+            for i in range(50):
+                store.put(i, bytes(32))
+            gets = store.stats.gets
+            hits = store.stats.hits
+            misses = store.stats.misses
+            cpu_before = store.clock.now
+            assert store.delete(5)         # memtable resident: no device I/O
+            assert not store.delete(9999)  # absent (nothing flushed): no I/O
+            assert store.stats.gets == gets
+            assert store.stats.hits == hits
+            assert store.stats.misses == misses
+            assert store.stats.deletes == 2
+            # Exactly one per-op CPU charge per delete, nothing more.
+            assert store.clock.now - cpu_before == pytest.approx(
+                2 * store.op_cpu_seconds
+            )
+
+    def test_delete_of_run_resident_key_leaves_read_stats(self, tmp_path):
+        with LsmKV(str(tmp_path), memory_budget_bytes=1 << 14) as store:
+            for i in range(300):
+                store.put(i, bytes(32))
+            store.flush()
+            gets = store.stats.gets
+            hits = store.stats.hits
+            misses = store.stats.misses
+            assert store.delete(5)  # probe reads a run block, pays I/O only
+            assert (store.stats.gets, store.stats.hits, store.stats.misses) == (
+                gets, hits, misses
+            )
+
+    def test_run_resident_hits_counted(self, tmp_path):
+        """Reads served from flushed runs must show up in the hit ratio
+        (regression: only the memtable path counted hits)."""
+        with LsmKV(str(tmp_path), memory_budget_bytes=1 << 14) as store:
+            for i in range(300):
+                store.put(i, bytes(32))
+            store.flush()
+            assert len(store.memtable) == 0
+            store.get(7)   # faults the block in from disk: a miss
+            hits_before = store.stats.hits
+            assert store.get(7) is not None  # cached block: a hit
+            assert store.stats.hits == hits_before + 1
+            # Every get resolves to exactly one hit or miss.
+            assert store.stats.hits + store.stats.misses == store.stats.gets
+
+    def test_multi_get_accounts_one_outcome_per_key(self, tmp_path):
+        with LsmKV(str(tmp_path), memory_budget_bytes=1 << 14) as store:
+            for i in range(300):
+                store.put(i, bytes(32))
+            store.flush()
+            store.multi_get([1, 2, 3, 3, 900])  # duplicates + a miss
+            assert store.stats.hits + store.stats.misses == store.stats.gets
 
     @settings(max_examples=15, deadline=None)
     @given(st.lists(st.tuples(
