@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-recovery bench bench-smoke lint
+.PHONY: test test-recovery serve-smoke bench bench-smoke lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -13,6 +13,12 @@ test:
 # attributable to recovery code and not the wider test run.
 test-recovery:
 	$(PYTHON) -m pytest tests/test_recovery.py -q
+
+# Boot an EmbeddingServer from a tiny cloud checkpoint and drive 1k
+# requests through the coalescing load generator; asserts score parity
+# and the p99 SLO, so a serving regression fails fast and attributably.
+serve-smoke:
+	$(PYTHON) examples/serving_quickstart.py --requests 1000
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q

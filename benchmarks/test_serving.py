@@ -1,0 +1,159 @@
+"""Online serving: coalesced micro-batching vs per-request, at equal p99.
+
+The serving tier's reason to exist, measured: a zipfian 10k-key lookup
+workload is offered open-loop at increasing rates to
+
+* a **per-request** server (``BatchPolicy(1, 0)``, no admission cache) —
+  every request pays its own dispatch and a full store ``get``; and
+* the **coalesced micro-batching** server — requests gathered under a
+  max-batch/max-delay policy, duplicate keys sharing one read, the
+  hot-key cache in front.
+
+For each mode the *sustained* throughput is the highest achieved rate
+whose p99 latency still meets the SLO (1 ms).  The acceptance criterion
+is a ≥ 3x throughput advantage for the coalesced server at equal p99;
+the measured ratio, both capacity points and the full rate ladder land
+in ``BENCH_serving.json`` for cross-PR tracking.
+
+A second case drives the closed-loop generator to sanity-check the
+self-limiting regime (p99 stays low when users wait for responses).
+"""
+
+import tempfile
+
+from _util import report
+from emit import emit
+
+from repro.core.embedding import EmbeddingTables
+from repro.core.mlkv import MLKV
+from repro.device import SimClock, SSDModel
+from repro.kv.common.serialization import encode_vector
+from repro.serve import BatchPolicy, EmbeddingServer, LoadGenerator, ServingLoop
+
+_ITEMS = 10_000
+_DIM = 16
+_REQUESTS = 8_000
+_SLO_P99 = 1e-3  # 1 ms
+_SEED = 7
+
+#: Offered-rate ladder (requests/second), shared by both modes so the
+#: comparison is at identical offered instants.
+_RATES = (2e5, 4e5, 8e5, 1.6e6, 3.2e6, 6.4e6)
+
+_PER_REQUEST = BatchPolicy(max_batch=1, max_delay=0.0)
+_COALESCED = BatchPolicy(max_batch=256, max_delay=100e-6)
+
+
+def _build_server(cache_entries: int) -> EmbeddingServer:
+    directory = tempfile.mkdtemp(prefix="serving-bench-")
+    store = MLKV(directory, ssd=SSDModel(SimClock()),
+                 memory_budget_bytes=1 << 22)
+    tables = EmbeddingTables(store, _DIM, seed=_SEED, cache_entries=0)
+    keys = list(range(_ITEMS))
+    store.multi_put(
+        keys, [encode_vector(tables.init_vector(key)) for key in keys]
+    )
+    store.clock.drain()
+    return EmbeddingServer(store, dim=_DIM, seed=_SEED,
+                           cache_entries=cache_entries)
+
+
+def _drive(server: EmbeddingServer, policy: BatchPolicy, rate: float) -> dict:
+    arrivals = LoadGenerator(_ITEMS, "zipfian", seed=_SEED).open_loop(
+        rate=rate, count=_REQUESTS, start=server.clock.now
+    )
+    loop = ServingLoop(server, policy)
+    loop.run(arrivals)
+    return loop.report(_SLO_P99)
+
+
+def _sweep(policy: BatchPolicy, cache_entries: int, mode: str):
+    """Run the rate ladder fresh-store per point; returns (rows, best)."""
+    rows = []
+    best = 0.0
+    for rate in _RATES:
+        server = _build_server(cache_entries)
+        result = _drive(server, policy, rate)
+        server.close()
+        met = result["slo_met"]
+        if met:
+            best = max(best, result["throughput_rps"])
+        rows.append({
+            "Mode": mode,
+            "Offered (req/s)": int(rate),
+            "Achieved (req/s)": int(result["throughput_rps"]),
+            "p50 (us)": round(result["latency"]["p50"] * 1e6, 1),
+            "p99 (us)": round(result["latency"]["p99"] * 1e6, 1),
+            "Mean batch": round(result["batch_size"]["mean"], 1),
+            "Coalesced": round(result["coalesced_fraction"], 2),
+            "Cache tier": round(result["tiers"]["cache"], 2),
+            "SLO met": met,
+        })
+    return rows, best
+
+
+def test_coalesced_batching_sustains_3x_at_equal_p99(benchmark):
+    """Acceptance: ≥ 3x sustained throughput at p99 ≤ 1 ms (zipfian 10k)."""
+
+    def sweep():
+        per_rows, per_best = _sweep(_PER_REQUEST, 0, "per-request")
+        co_rows, co_best = _sweep(_COALESCED, 2048, "coalesced")
+        return per_rows + co_rows, per_best, co_best
+
+    rows, per_best, co_best = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    speedup = co_best / per_best if per_best else float("inf")
+    report("serving_rate_sweep", rows,
+           note=f"zipfian {_ITEMS}-key open loop, {_REQUESTS} requests per "
+                f"point; sustained = best achieved rate with p99 <= "
+                f"{_SLO_P99 * 1e3:.0f} ms; coalesced/per-request = "
+                f"{speedup:.1f}x")
+    emit(
+        "serving",
+        metrics={
+            "per_request_sustained_rps": per_best,
+            "coalesced_sustained_rps": co_best,
+            "speedup_at_equal_p99": speedup,
+            "slo_p99_seconds": _SLO_P99,
+        },
+        rows=rows,
+        meta={
+            "workload": f"zipfian {_ITEMS} keys, {_REQUESTS} requests/point",
+            "policy": {"max_batch": _COALESCED.max_batch,
+                       "max_delay": _COALESCED.max_delay},
+            "cache_entries": 2048,
+        },
+    )
+    assert per_best > 0, "per-request server never met the SLO"
+    assert co_best >= 3.0 * per_best, (
+        f"coalesced sustained {co_best:.0f} req/s < 3x per-request "
+        f"{per_best:.0f} req/s"
+    )
+
+
+def test_closed_loop_self_limits(benchmark):
+    """Closed-loop users wait for responses: the loop must stay inside the
+    SLO on its own (offered load self-limits at saturation)."""
+
+    def run():
+        server = _build_server(1024)
+        arrivals = LoadGenerator(_ITEMS, "zipfian", seed=_SEED).closed_loop(
+            users=64, think_seconds=20e-6, count=6_000,
+            start=server.clock.now,
+        )
+        loop = ServingLoop(server, BatchPolicy(max_batch=64, max_delay=50e-6))
+        loop.run(arrivals)
+        result = loop.report(_SLO_P99)
+        server.close()
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("serving_closed_loop", [{
+        "Users": 64,
+        "Requests": result["requests"],
+        "Throughput (req/s)": int(result["throughput_rps"]),
+        "p99 (us)": round(result["latency"]["p99"] * 1e6, 1),
+        "Mean batch": round(result["batch_size"]["mean"], 1),
+        "SLO met": result["slo_met"],
+    }], note="64 users, 20 us think time — closed loops self-limit")
+    assert result["requests"] == 6_000
+    assert result["slo_met"]

@@ -21,6 +21,7 @@ production-scale north star:
 import tempfile
 
 from _util import report
+from emit import emit
 
 from repro.core.mlkv import MLKV
 from repro.data import YCSBWorkload
@@ -96,6 +97,12 @@ def test_batched_vs_looped_multi_get(benchmark):
     report("sharded_batched_multi_get", rows,
            note="10k-key zipfian YCSB read batch; batched multi_get vs "
                 "per-key get loop on the simulated clock")
+    emit(
+        "batched_multi_get",
+        metrics={f"{kind}_speedup": speedup for kind, speedup in speedups.items()},
+        rows=rows,
+        meta={"workload": f"zipfian {_ITEMS} keys, {_BATCH_KEYS}-key batch"},
+    )
     assert speedups["faster"] > 1.0
     assert speedups["lsm"] > 1.0
     assert all(speedup >= 1.0 for speedup in speedups.values())
@@ -163,6 +170,16 @@ def test_shard_scaling_sweep(benchmark):
     report("sharded_batched_shard_sweep", rows,
            note="50/50 YCSB in 256-key batches; one clock+SSD per shard, "
                 "elapsed = slowest shard")
+    emit(
+        "shard_scaling",
+        metrics={
+            f"throughput_{num_shards}_shards": throughput
+            for num_shards, throughput in throughputs.items()
+        },
+        rows=rows,
+        meta={"workload": f"50/50 YCSB, {_SWEEP_OPS} ops, "
+                          f"{_SWEEP_BATCH}-key batches"},
+    )
     assert throughputs[2] > throughputs[1]
     assert throughputs[8] > 2.0 * throughputs[1]
     for row in rows:

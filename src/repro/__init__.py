@@ -18,12 +18,13 @@ Quick start::
 
 __version__ = "1.0.0"
 
-from repro import core, data, device, kv, models, nn, train  # noqa: F401
+from repro import core, data, device, kv, models, nn, serve, train  # noqa: F401
 from repro.errors import (  # noqa: F401
     CheckpointError,
     ConfigError,
     KeyNotFound,
     ReproError,
+    ServingError,
     StalenessViolation,
     StorageError,
 )

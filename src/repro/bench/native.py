@@ -67,6 +67,7 @@ class NativeStore(KVStore):
         return value
 
     def put(self, key: int, value: bytes) -> None:
+        self._check_writable()
         self._charge()
         self._stats.puts += 1
         old = self._data.get(key)
@@ -81,6 +82,7 @@ class NativeStore(KVStore):
         self._bytes += delta
 
     def delete(self, key: int) -> bool:
+        self._check_writable()
         self._charge()
         self._stats.deletes += 1
         value = self._data.pop(key, None)
@@ -107,6 +109,7 @@ class NativeStore(KVStore):
 
     def multi_put(self, keys, values) -> None:
         """Batched insert honoring the memory budget per entry."""
+        self._check_writable()
         keys, values = self._normalize_pairs(keys, values)
         self._charge_batch_cpu(len(keys))
         self._stats.puts += len(keys)

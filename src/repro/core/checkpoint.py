@@ -62,7 +62,8 @@ class CloudCheckpointer:
     Parameters
     ----------
     store:
-        The store to checkpoint.
+        The store to checkpoint; ``None`` builds a restore-only client
+        (a serving node downloading epochs someone else uploaded).
     cloud_dir:
         Destination directory standing in for the object store.
     upload_bandwidth:
@@ -76,7 +77,7 @@ class CloudCheckpointer:
 
     def __init__(
         self,
-        store: KVStore,
+        store: Optional[KVStore],
         cloud_dir: str,
         upload_bandwidth: float = 200e6,
         request_latency: float = 30e-3,
@@ -242,6 +243,7 @@ class CloudCheckpointer:
         epoch: Optional[int] = None,
         store_cls: Optional[type] = None,
         overwrite: bool = False,
+        read_only: bool = False,
         **kwargs,
     ) -> KVStore:
         """Download an epoch and reopen the store from it.
@@ -249,14 +251,23 @@ class CloudCheckpointer:
         The store class recorded in the manifest is used unless
         ``store_cls`` overrides it; ``kwargs`` are forwarded to its
         ``restore`` classmethod (e.g. ``ssd=``, ``staleness_bound=``, or a
-        sharded ``factory=``).  Returns the reopened store.
+        sharded ``factory=``).  ``read_only=True`` freezes the reopened
+        store — the serving tier's guarantee that a restored epoch is
+        never mutated.  Returns the reopened store.
+
+        A read-side client (a serving node that never uploads) may build
+        the checkpointer with ``store=None``: every restore method works
+        without a source store.
         """
         manifest = self._require_manifest(epoch)
         self.restore_to(directory, epoch=manifest["epoch"], overwrite=overwrite)
         if store_cls is None:
             module_name, _, class_name = manifest["store_type"].rpartition(".")
             store_cls = getattr(importlib.import_module(module_name), class_name)
-        return store_cls.restore(directory, **kwargs)
+        store = store_cls.restore(directory, **kwargs)
+        if read_only:
+            store.freeze()
+        return store
 
     # ------------------------------------------------------------------
     def _checkpoint_root(self) -> str:

@@ -226,10 +226,10 @@ class EmbeddingTables:
         """
         keys = np.asarray(keys, dtype=np.int64)
         unique, inverse = np.unique(keys, return_inverse=True)
-        # Stores with an admission protocol expose batched committed
-        # reads; for plain engines multi_get already is the committed read.
-        reader = getattr(self.store, "read_committed_many", self.store.multi_get)
-        raws = reader([int(key) for key in unique])
+        # Every store exposes batched committed reads: stores with an
+        # admission protocol map them to their bypass path, for plain
+        # engines multi_get already is the committed read.
+        raws = self.store.snapshot_read_many([int(key) for key in unique])
         gathered = np.empty((unique.shape[0], self.dim), dtype=np.float32)
         for i, (key, raw) in enumerate(zip(unique, raws)):
             if raw is None:
@@ -239,6 +239,14 @@ class EmbeddingTables:
         return gathered[inverse].reshape(*keys.shape, self.dim)
 
     # ------------------------------------------------------------------
+    def init_vector(self, key: int) -> np.ndarray:
+        """Deterministic lazy-init vector for ``key`` (no insertion).
+
+        Public because the serving tier must reproduce the exact same
+        initialization for keys training never touched.
+        """
+        return self._init_vector(key)
+
     def _init_vector(self, key: int) -> np.ndarray:
         rng = np.random.default_rng((self.seed << 32) ^ (key * 0x9E3779B9 + 1))
         return rng.uniform(-self.init_scale, self.init_scale, self.dim).astype(np.float32)

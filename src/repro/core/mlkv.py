@@ -192,6 +192,7 @@ class MLKV(FasterKV):
         if not self.bounded_staleness:
             super().put(key, value)
             return
+        self._check_writable()
         self._charge_clock_overhead()
         self._stats.puts += 1
         with self.epochs.guard():
@@ -288,6 +289,7 @@ class MLKV(FasterKV):
         if not self.bounded_staleness:
             super().multi_put(keys, values)
             return
+        self._check_writable()
         keys, values = self._normalize_pairs(keys, values)
         self._charge_batch_cpu(len(keys))
         if CLOCK_OVERHEAD_SECONDS and keys:
@@ -308,6 +310,11 @@ class MLKV(FasterKV):
         bypassed entirely, as evaluation reads require.
         """
         return super().multi_get(keys)
+
+    # The serving tier's committed-read contract maps onto the existing
+    # evaluation reads: no admission, no vector-clock update.
+    snapshot_read = read_committed
+    snapshot_read_many = read_committed_many
 
     def staleness_of(self, key: int) -> int:
         """Current vector-clock value for ``key`` (0 if unknown)."""

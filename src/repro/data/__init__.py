@@ -16,6 +16,7 @@ from repro.data.ebay import make_trisk_graph, make_payout_graph
 from repro.data.ycsb import YCSBWorkload, ZipfianGenerator, UniformGenerator
 from repro.data.sampling import NeighborSampler, NegativeSampler
 from repro.data.registry import DATASETS, DatasetSpec, table2_rows
+from repro.data.arrivals import PoissonProcess, ThinkTimeProcess
 
 __all__ = [
     "CTRDataset",
@@ -31,4 +32,6 @@ __all__ = [
     "DATASETS",
     "DatasetSpec",
     "table2_rows",
+    "PoissonProcess",
+    "ThinkTimeProcess",
 ]

@@ -1,0 +1,78 @@
+"""Request arrival processes for the online serving workloads.
+
+The serving tier is driven over the *simulated* device clock, so arrival
+times are plain floats in simulated seconds.  Two classic processes cover
+the load-generator's open- and closed-loop modes:
+
+* :class:`PoissonProcess` — memoryless open-loop arrivals at a fixed
+  offered rate, the standard model for the superposition of requests
+  from millions of independent users (the aggregate of many sparse
+  per-user streams converges to Poisson regardless of per-user timing);
+* :class:`ThinkTimeProcess` — exponentially distributed per-user think
+  times for closed-loop load, where each simulated user waits for its
+  response before "thinking" and issuing the next request.
+
+Both are deterministic under a seed, like every other generator in
+:mod:`repro.data`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PoissonProcess:
+    """Open-loop arrival times with exponential interarrival gaps.
+
+    Parameters
+    ----------
+    rate:
+        Offered load in requests per simulated second.
+    seed:
+        RNG seed; the same seed replays the same arrival trace.
+    start:
+        Simulated time of the window start.
+    """
+
+    def __init__(self, rate: float, seed: int = 0, start: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate}")
+        self.rate = rate
+        self.start = float(start)
+        self._rng = np.random.default_rng(seed)
+
+    def times(self, count: int) -> np.ndarray:
+        """The next ``count`` arrival times (ascending float seconds)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        gaps = self._rng.exponential(1.0 / self.rate, count)
+        times = self.start + np.cumsum(gaps)
+        if count:
+            self.start = float(times[-1])
+        return times
+
+
+class ThinkTimeProcess:
+    """Closed-loop think times: how long a user waits before re-requesting.
+
+    Parameters
+    ----------
+    mean_seconds:
+        Mean of the exponential think-time distribution.  ``0`` models
+        users that fire again immediately on response (a saturation
+        closed loop).
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, mean_seconds: float, seed: int = 0) -> None:
+        if mean_seconds < 0:
+            raise ValueError("mean think time must be non-negative")
+        self.mean_seconds = mean_seconds
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self) -> float:
+        """One think-time draw in simulated seconds."""
+        if self.mean_seconds == 0:
+            return 0.0
+        return float(self._rng.exponential(self.mean_seconds))

@@ -29,3 +29,7 @@ class CheckpointError(StorageError):
 
 class ConfigError(ReproError):
     """Invalid configuration supplied by the caller."""
+
+
+class ServingError(ReproError):
+    """The online serving tier could not satisfy a request or bootstrap."""

@@ -12,7 +12,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, StorageError
 
 #: Fraction of the per-operation CPU cost charged for each key inside a
 #: batched operation.  The remainder of a full op cost is paid once per
@@ -99,6 +99,11 @@ class CheckpointManager(ABC):
 
 class KVStore(ABC):
     """Abstract key-value store with the interface MLKV builds on."""
+
+    #: Stores opened for serving may be frozen: logical mutation raises.
+    #: Class-level default so engines need no constructor changes; see
+    #: :meth:`freeze`.
+    read_only: bool = False
 
     @abstractmethod
     def get(self, key: int) -> Optional[bytes]:
@@ -188,6 +193,40 @@ class KVStore(ABC):
             clock.advance(
                 op_cpu_seconds * (1.0 + BATCH_CPU_FRACTION * (count - 1)),
                 component="cpu",
+            )
+
+    def snapshot_read(self, key: int) -> Optional[bytes]:
+        """Committed read for serving/evaluation: no admission side effects.
+
+        Engines with an admission protocol (MLKV's vector clocks) override
+        this with their committed-read path so a serving tier can read a
+        restored image without consuming staleness budget; for plain
+        engines a ``get`` already is the committed read.
+        """
+        return self.get(key)
+
+    def snapshot_read_many(self, keys) -> list:
+        """Batched :meth:`snapshot_read` preserving input order."""
+        return self.multi_get(keys)
+
+    def freeze(self) -> "KVStore":
+        """Switch the store to read-only serving mode.
+
+        After freezing, ``put``/``delete``/``rmw``/``multi_put`` raise
+        :class:`~repro.errors.StorageError`.  Reads — including look-ahead
+        staging, which re-appends existing values without changing the
+        store's logical content — remain available.  Returns ``self`` so
+        ``restore(...).freeze()`` chains.
+        """
+        self.read_only = True
+        return self
+
+    def _check_writable(self) -> None:
+        """Raise when a mutation reaches a frozen store."""
+        if self.read_only:
+            raise StorageError(
+                f"{type(self).__name__} is frozen (read-only serving mode); "
+                "writes are not allowed"
             )
 
     def scan(self) -> Iterator[tuple[int, bytes]]:  # pragma: no cover - optional

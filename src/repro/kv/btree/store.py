@@ -206,6 +206,7 @@ class BTreeKV(KVStore, CheckpointManager):
         return page_id, node, path, upper
 
     def put(self, key: int, value: bytes) -> None:
+        self._check_writable()
         self._charge_cpu()
         self._stats.puts += 1
         page_id, node, path, _ = self._descend_with_path(key)
@@ -287,6 +288,7 @@ class BTreeKV(KVStore, CheckpointManager):
         once instead of re-descending per key.  Stable sorting keeps the
         input order of duplicate keys, preserving last-duplicate-wins.
         """
+        self._check_writable()
         keys, values = self._normalize_pairs(keys, values)
         self._charge_batch_cpu(len(keys))
         self._stats.puts += len(keys)
@@ -311,6 +313,7 @@ class BTreeKV(KVStore, CheckpointManager):
                 leaf = None  # structure changed: re-descend for the next key
 
     def delete(self, key: int) -> bool:
+        self._check_writable()
         self._charge_cpu()
         self._stats.deletes += 1
         page_id = self.root_page

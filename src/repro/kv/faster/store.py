@@ -127,6 +127,7 @@ class FasterKV(KVStore, CheckpointManager):
         return value
 
     def put(self, key: int, value: bytes) -> None:
+        self._check_writable()
         self._charge_cpu()
         self._stats.puts += 1
         with self.epochs.guard():
@@ -183,6 +184,7 @@ class FasterKV(KVStore, CheckpointManager):
 
     def multi_put(self, keys, values) -> None:
         """Batched put: one epoch acquisition and amortized CPU per batch."""
+        self._check_writable()
         keys, values = self._normalize_pairs(keys, values)
         self._charge_batch_cpu(len(keys))
         self._stats.puts += len(keys)
@@ -191,6 +193,7 @@ class FasterKV(KVStore, CheckpointManager):
                 self._upsert(key, value)
 
     def rmw(self, key: int, update: Callable[[Optional[bytes]], bytes]) -> bytes:
+        self._check_writable()
         self._charge_cpu()
         self._stats.gets += 1
         self._stats.puts += 1
@@ -210,6 +213,7 @@ class FasterKV(KVStore, CheckpointManager):
             return new_value
 
     def delete(self, key: int) -> bool:
+        self._check_writable()
         self._charge_cpu()
         self._stats.deletes += 1
         with self.epochs.guard():

@@ -86,6 +86,7 @@ class LsmKV(KVStore, CheckpointManager):
         return self._stats
 
     def put(self, key: int, value: bytes) -> None:
+        self._check_writable()
         self._charge_cpu()
         self._stats.puts += 1
         self.wal.append_put(key, value)
@@ -93,6 +94,7 @@ class LsmKV(KVStore, CheckpointManager):
         self._maybe_flush()
 
     def delete(self, key: int) -> bool:
+        self._check_writable()
         self._charge_cpu()
         self._stats.deletes += 1
         # Existence probe through the internal lookup: user-facing get/hit/
@@ -242,6 +244,7 @@ class LsmKV(KVStore, CheckpointManager):
         application while the write amplification does not scale with the
         duplicate count.
         """
+        self._check_writable()
         keys, values = self._normalize_pairs(keys, values)
         self._charge_batch_cpu(len(keys))
         self._stats.puts += len(keys)

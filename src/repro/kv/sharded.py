@@ -155,9 +155,42 @@ class ShardedKVStore(KVStore, CheckpointManager):
             )
 
     def scan(self) -> Iterator[tuple[int, bytes]]:
-        """All live records, shard by shard (order is engine-specific)."""
+        """All live records: the child iterators merged shard by shard.
+
+        Every engine's ``scan`` yields its own order (LSM sorted, FASTER
+        index order, ...), so the merged stream has no global order — the
+        guarantees are that each live key appears exactly once and comes
+        from the shard owning it.  Serving cache warmup and
+        :meth:`rebalance` both stream through this.
+        """
         for shard in self.shards:
             yield from shard.scan()
+
+    def snapshot_read(self, key: int) -> Optional[bytes]:
+        """Committed single-key read routed to the owning shard."""
+        shard = self.shard_of(key)
+        self._shard_ops[shard] += 1
+        return self.shards[shard].snapshot_read(key)
+
+    def snapshot_read_many(self, keys) -> list:
+        """Batched committed reads: one sub-batch per shard, no admissions."""
+        keys = self._normalize_keys(keys)
+        results: list = [None] * len(keys)
+        for shard, positions in self._partition_keys(keys).items():
+            self._shard_ops[shard] += len(positions)
+            sub_results = self.shards[shard].snapshot_read_many(
+                [keys[position] for position in positions]
+            )
+            for position, value in zip(positions, sub_results):
+                results[position] = value
+        return results
+
+    def freeze(self) -> "ShardedKVStore":
+        """Freeze every child and the wrapper itself."""
+        for shard in self.shards:
+            shard.freeze()
+        self.read_only = True
+        return self
 
     def close(self) -> None:
         if not self._closed:
@@ -195,6 +228,24 @@ class ShardedKVStore(KVStore, CheckpointManager):
         ):
             return first
         raise AttributeError("shards do not share a single SSD device")
+
+    @property
+    def clock(self):
+        """The simulated clock shared by every child, when there is one.
+
+        The serving tier times queueing and batching on the store's
+        clock, so a sharded store serves traffic when its children share
+        a clock (build the shards over one ``SSDModel``).  Shards with
+        private per-device clocks have no single timeline; the attribute
+        is absent (``AttributeError``) and ``getattr(store, "clock",
+        None)`` call sites degrade gracefully.
+        """
+        first = getattr(self.shards[0], "clock", None)
+        if first is not None and all(
+            getattr(shard, "clock", None) is first for shard in self.shards
+        ):
+            return first
+        raise AttributeError("shards do not share a single clock")
 
     # ------------------------------------------------------------------
     # stats & balance
@@ -248,16 +299,15 @@ class ShardedKVStore(KVStore, CheckpointManager):
         return copied
 
     def read_committed_many(self, keys) -> list:
-        """Batched snapshot reads, admission-free where children allow."""
-        keys = self._normalize_keys(keys)
-        results: list = [None] * len(keys)
-        for shard, positions in self._partition_keys(keys).items():
-            child = self.shards[shard]
-            reader = getattr(child, "read_committed_many", child.multi_get)
-            sub_results = reader([keys[position] for position in positions])
-            for position, value in zip(positions, sub_results):
-                results[position] = value
-        return results
+        """Training-side alias of :meth:`snapshot_read_many`.
+
+        The child fan-out is identical — every child's
+        ``snapshot_read_many`` already is its committed batched read
+        (``read_committed_many`` on MLKV, ``multi_get`` on plain
+        engines) — so both entry points share one implementation and
+        one set of routed-op counters.
+        """
+        return self.snapshot_read_many(keys)
 
     def set_stall_handler(self, handler) -> None:
         """Register the training stall hook on every capable child."""

@@ -1,0 +1,208 @@
+"""Load generation for the serving tier: open- and closed-loop arrivals.
+
+Both loops draw *keys* from the same choosers the YCSB benchmarks use
+(:class:`~repro.data.ycsb.ZipfianGenerator` /
+:class:`~repro.data.ycsb.UniformGenerator`, or the read side of a full
+:class:`~repro.data.ycsb.YCSBWorkload`) and *times* from the arrival
+processes in :mod:`repro.data.arrivals`:
+
+* **open loop** — a Poisson stream at a fixed offered rate, independent
+  of how fast the server answers.  This is the aggregate of millions of
+  independent users, and the honest way to measure latency under load:
+  a saturated server sees its queue (and p99) grow, instead of the
+  workload politely slowing down.
+* **closed loop** — ``users`` simulated clients, each waiting for its
+  response and an exponential think time before the next request.  The
+  offered rate self-limits at saturation; modeling a million-user site
+  means scaling ``users`` / think time to the target concurrency.
+
+Both sources implement the small protocol the serving loop consumes:
+``peek_time`` / ``pop`` / ``on_complete`` / ``backlog``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.data.arrivals import PoissonProcess, ThinkTimeProcess
+from repro.data.ycsb import UniformGenerator, YCSBWorkload, ZipfianGenerator
+from repro.errors import ConfigError
+from repro.serve.request import Request
+
+
+def _key_chooser(distribution: str, item_count: int, seed: int):
+    if distribution == "zipfian":
+        return ZipfianGenerator(item_count, seed=seed)
+    if distribution == "uniform":
+        return UniformGenerator(item_count, seed=seed)
+    raise ConfigError(f"unknown key distribution {distribution!r}")
+
+
+class OpenLoopArrivals:
+    """A fully materialized open-loop trace (arrival times + keys).
+
+    Materializing the trace keeps replays exact across serving modes —
+    the per-request baseline and the micro-batched server answer the
+    *same* requests at the *same* offered instants — and exposes the
+    key schedule the serving prefetcher can look ahead over.
+    """
+
+    def __init__(self, requests: list[Request]) -> None:
+        self._requests = requests
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def peek_time(self) -> Optional[float]:
+        if self._cursor >= len(self._requests):
+            return None
+        return self._requests[self._cursor].arrival_time
+
+    def pop(self) -> Request:
+        request = self._requests[self._cursor]
+        self._cursor += 1
+        return request
+
+    def on_complete(self, request: Request, now: float) -> None:
+        """Open loop: completions do not influence future arrivals."""
+
+    def backlog(self, now: float) -> int:
+        """Arrived-but-unpopped requests at simulated time ``now``."""
+        count = 0
+        cursor = self._cursor
+        while cursor < len(self._requests) and self._requests[cursor].arrival_time <= now:
+            count += 1
+            cursor += 1
+        return count
+
+    def key_schedule(self, chunk: int) -> list[np.ndarray]:
+        """The trace's keys in ``chunk``-sized batches, for the serving
+        prefetcher (the look-ahead engine wants one array per batch)."""
+        keys = np.array([request.key for request in self._requests], dtype=np.int64)
+        return [keys[start:start + chunk] for start in range(0, len(keys), chunk)]
+
+
+class ClosedLoopArrivals:
+    """A pool of users, each re-requesting after response + think time."""
+
+    def __init__(
+        self,
+        users: int,
+        chooser,
+        think: ThinkTimeProcess,
+        total_requests: int,
+        start: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if users <= 0:
+            raise ConfigError(f"users must be positive, got {users}")
+        if total_requests < 0:
+            raise ConfigError("total_requests must be non-negative")
+        self._chooser = chooser
+        self._think = think
+        self._remaining = total_requests
+        self._issued = 0
+        # Stagger the pool's first requests with think-time draws so the
+        # loop does not open on a users-sized thundering herd.
+        rng = np.random.default_rng(seed ^ 0xC10D)
+        self._heap: list[tuple[float, int]] = []
+        for user in range(users):
+            offset = think.sample() if think.mean_seconds else float(rng.random()) * 1e-6
+            heapq.heappush(self._heap, (start + offset, user))
+
+    def __len__(self) -> int:
+        return self._remaining
+
+    def peek_time(self) -> Optional[float]:
+        if not self._heap or self._remaining <= 0:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> Request:
+        time, user = heapq.heappop(self._heap)
+        self._issued += 1
+        self._remaining -= 1
+        return Request(key=self._chooser.next_key(), arrival_time=time, user=user)
+
+    def on_complete(self, request: Request, now: float) -> None:
+        """Schedule this user's next request after its think time."""
+        if self._remaining > 0:
+            heapq.heappush(self._heap, (now + self._think.sample(), request.user))
+
+    def backlog(self, now: float) -> int:
+        return sum(1 for time, _ in self._heap if time <= now)
+
+
+class LoadGenerator:
+    """Builds arrival sources over a shared key popularity model.
+
+    Parameters
+    ----------
+    item_count:
+        Key-space size (the pre-loaded serving table).
+    distribution:
+        ``"zipfian"`` (YCSB scrambled zipfian, the hot-key regime
+        serving caches exist for) or ``"uniform"``.
+    seed:
+        Base seed; open and closed loops derive their own streams.
+    """
+
+    def __init__(
+        self, item_count: int, distribution: str = "zipfian", seed: int = 0
+    ) -> None:
+        self.item_count = item_count
+        self.distribution = distribution
+        self.seed = seed
+
+    def open_loop(self, rate: float, count: int, start: float = 0.0) -> OpenLoopArrivals:
+        """A ``count``-request Poisson trace at ``rate`` requests/second."""
+        chooser = _key_chooser(self.distribution, self.item_count, self.seed)
+        times = PoissonProcess(rate, seed=self.seed ^ 0xA11, start=start).times(count)
+        requests = [
+            Request(key=chooser.next_key(), arrival_time=float(time), user=index)
+            for index, time in enumerate(times)
+        ]
+        return OpenLoopArrivals(requests)
+
+    def replay_ycsb(
+        self, workload: YCSBWorkload, rate: float, count: int, start: float = 0.0
+    ) -> OpenLoopArrivals:
+        """Open-loop arrivals whose keys replay a YCSB workload's reads.
+
+        Update operations in the mix are skipped — the serving tier is a
+        read path; the generator draws operations until ``count`` reads
+        have been collected.
+        """
+        times = PoissonProcess(rate, seed=self.seed ^ 0xB22, start=start).times(count)
+        keys: list[int] = []
+        operations: Iterator = workload.operations(count * 4)
+        for op in operations:
+            if op.is_read:
+                keys.append(op.key)
+                if len(keys) >= count:
+                    break
+        while len(keys) < count:  # pathological mixes: top up directly
+            keys.append(workload.generator.next_key())
+        requests = [
+            Request(key=key, arrival_time=float(time), user=index)
+            for index, (key, time) in enumerate(zip(keys, times))
+        ]
+        return OpenLoopArrivals(requests)
+
+    def closed_loop(
+        self,
+        users: int,
+        think_seconds: float,
+        count: int,
+        start: float = 0.0,
+    ) -> ClosedLoopArrivals:
+        """``users`` clients issuing ``count`` total requests."""
+        chooser = _key_chooser(self.distribution, self.item_count, self.seed)
+        think = ThinkTimeProcess(think_seconds, seed=self.seed ^ 0xC33)
+        return ClosedLoopArrivals(
+            users, chooser, think, total_requests=count, start=start, seed=self.seed
+        )

@@ -1,0 +1,178 @@
+"""The serving event loop: arrivals → queue → micro-batches → answers.
+
+Serving runs entirely on the simulated clock (the same one the store's
+SSD model charges), so the loop is a discrete-event simulation with the
+exact timing a real async server would exhibit:
+
+1. when idle, time jumps to the next arrival;
+2. a batch *opens* and requests are admitted to the queue until it
+   either holds ``max_batch`` requests or the policy's ``max_delay``
+   timer fires — exactly the two close conditions of a real
+   micro-batcher (a full batch closes early; a sparse one waits out its
+   timer, even if no further request ever arrives);
+3. the batch is coalesced and served — one batched store read for its
+   unique keys — and every waiter completes at the batch's finish time;
+4. completions feed the telemetry (latency, batch size, queue depth)
+   and, in closed-loop mode, schedule the issuing user's next request.
+
+When the arrival source exposes a key schedule (open-loop replay), the
+loop reuses the training stack's
+:class:`~repro.core.lookahead.LookaheadEngine` as a *serving
+prefetcher*: the store's look-ahead buffer is staged ``distance``
+micro-batches ahead of the consumer at background sequential cost —
+the very mechanism that hides training data stalls, pointed at the
+serving read path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.lookahead import LookaheadEngine
+from repro.serve.batcher import BatchPolicy, CoalescedBatch, MicroBatcher
+from repro.serve.request import RequestQueue
+from repro.serve.server import EmbeddingServer
+from repro.serve.telemetry import ServingTelemetry
+
+#: Clock component idle waits are charged to.  Deliberately not a powered
+#: component in the energy model: waiting for arrivals burns no device.
+WAIT_COMPONENT = "wait"
+
+
+class ServingLoop:
+    """Drives an :class:`EmbeddingServer` under a batching policy.
+
+    Parameters
+    ----------
+    server:
+        The read path (store + cache + optional model).
+    policy:
+        Micro-batching knobs; ``BatchPolicy(1, 0)`` is per-request
+        serving.
+    prefetch_distance:
+        Micro-batches of look-ahead staging over a replayable trace
+        (0 disables; ignored for sources without a key schedule).
+    """
+
+    def __init__(
+        self,
+        server: EmbeddingServer,
+        policy: Optional[BatchPolicy] = None,
+        prefetch_distance: int = 0,
+    ) -> None:
+        self.server = server
+        self.policy = policy or BatchPolicy()
+        self.queue = RequestQueue()
+        self.batcher = MicroBatcher(self.policy)
+        self.telemetry = server.telemetry
+        self.prefetch_distance = prefetch_distance
+
+    # ------------------------------------------------------------------
+    def run(self, arrivals, max_requests: Optional[int] = None) -> ServingTelemetry:
+        """Serve the arrival stream to exhaustion (or ``max_requests``).
+
+        Returns the telemetry (also reachable as ``self.telemetry``).
+        """
+        clock = self.server.clock
+        prefetcher = self._make_prefetcher(arrivals)
+        served = 0
+        batch_index = 0
+        while max_requests is None or served < max_requests:
+            opened_at = self._open_batch(arrivals, clock)
+            if opened_at is None:
+                break
+            service_start = self._gather(arrivals, clock, opened_at)
+            self._advance_to(clock, service_start)
+            depth = len(self.queue) + arrivals.backlog(clock.now)
+            if prefetcher is not None:
+                prefetcher.advance(batch_index)
+            batch = self.batcher.form(self.queue)
+            self._serve(batch)
+            completed_at = clock.now
+            for request in batch.requests:
+                request.completed_at = completed_at
+                self.telemetry.record_request(request.arrival_time, completed_at)
+                arrivals.on_complete(request, completed_at)
+            self.telemetry.record_batch(batch.size, depth)
+            served += batch.size
+            batch_index += 1
+        return self.telemetry
+
+    # ------------------------------------------------------------------
+    def _open_batch(self, arrivals, clock) -> Optional[float]:
+        """Admit the first waiter; returns the batch-open time or ``None``
+        when the stream is exhausted and the queue is drained."""
+        if len(self.queue) == 0:
+            next_time = arrivals.peek_time()
+            if next_time is None:
+                return None
+            self._advance_to(clock, next_time)
+            self.queue.push(arrivals.pop())
+        return clock.now
+
+    def _gather(self, arrivals, clock, opened_at: float) -> float:
+        """Admit arrivals until the batch closes; returns service start.
+
+        The batch closes at the moment it fills (``max_batch`` waiters)
+        or when the *oldest waiter* has been held ``max_delay`` seconds
+        — whichever is earlier.  A waiter carried over from the previous
+        batch anchors the timer at its own arrival, so it never pays a
+        fresh delay on top of the residual service time it already
+        waited out (the deadline is clamped to ``opened_at`` when it is
+        already overdue).  Arrivals strictly after the close moment stay
+        queued for the next batch.
+        """
+        oldest = self.queue.peek_oldest()
+        anchor = oldest.arrival_time if oldest is not None else opened_at
+        deadline = max(opened_at, self.batcher.deadline(anchor))
+        filled_at = opened_at
+        while len(self.queue) < self.policy.max_batch:
+            next_time = arrivals.peek_time()
+            if next_time is None or next_time > deadline:
+                return deadline
+            filled_at = max(filled_at, next_time)
+            self.queue.push(arrivals.pop())
+        return filled_at
+
+    def _serve(self, batch: CoalescedBatch) -> None:
+        """Answer one coalesced batch; waiters share each unique read."""
+        server = self.server
+        server.charge_request_overhead(batch.size)
+        vectors = server.lookup_unique(batch.unique_keys)
+        for vector, waiters in zip(vectors, batch.waiters):
+            for request in waiters:
+                request.value = vector
+
+    # ------------------------------------------------------------------
+    def _make_prefetcher(self, arrivals) -> Optional[LookaheadEngine]:
+        if self.prefetch_distance <= 0:
+            return None
+        schedule_fn = getattr(arrivals, "key_schedule", None)
+        if schedule_fn is None:
+            return None
+        schedule = schedule_fn(self.policy.max_batch)
+        if not schedule:
+            return None
+        engine = LookaheadEngine(
+            self.server.tables, schedule, distance=self.prefetch_distance
+        )
+        # Stage the first window before any batch is served: step -1 has
+        # no "current" batch, so the window starts at batch 0.
+        engine.advance(-1)
+        return engine
+
+    @staticmethod
+    def _advance_to(clock, target: float) -> None:
+        if target > clock.now:
+            clock.advance(target - clock.now, component=WAIT_COMPONENT)
+
+    # ------------------------------------------------------------------
+    def report(self, target_p99: float) -> dict:
+        """SLO report enriched with batcher-level coalescing stats."""
+        report = self.telemetry.slo_report(target_p99, server=self.server)
+        batched = self.batcher.requests_batched
+        report["coalesced_fraction"] = (
+            self.batcher.requests_coalesced / batched if batched else 0.0
+        )
+        report["queue_high_water"] = self.queue.max_depth_seen
+        return report

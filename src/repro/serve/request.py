@@ -1,0 +1,74 @@
+"""Requests and the arrival-ordered queue in front of the batcher.
+
+A :class:`Request` is one client's single-key embedding lookup; the
+:class:`RequestQueue` holds admitted requests in arrival order and
+samples its own depth so the telemetry can report queue-length
+distributions.  Arrival *sources* (open-loop traces, closed-loop user
+pools — :mod:`repro.serve.loadgen`) feed the queue; the
+:class:`~repro.serve.batcher.MicroBatcher` drains it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Request:
+    """One in-flight single-key lookup.
+
+    ``arrival_time`` and ``completed_at`` are simulated seconds on the
+    serving clock; ``latency`` is only meaningful once the request has
+    been answered.
+    """
+
+    key: int
+    arrival_time: float
+    user: int = 0
+    value: Optional[object] = field(default=None, repr=False)
+    completed_at: Optional[float] = None
+
+    @property
+    def latency(self) -> float:
+        """Queueing + batching + service time for this request."""
+        if self.completed_at is None:
+            raise ValueError("request has not completed yet")
+        return self.completed_at - self.arrival_time
+
+
+class RequestQueue:
+    """FIFO of admitted requests with depth accounting.
+
+    The queue is intentionally unbounded: the serving benchmarks drive it
+    past saturation on purpose, and the visible symptom of overload must
+    be latency (growing depth), not silent drops.  ``max_depth_seen``
+    records the high-water mark for the SLO report.
+    """
+
+    def __init__(self) -> None:
+        self._pending: deque[Request] = deque()
+        self.enqueued = 0
+        self.max_depth_seen = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def push(self, request: Request) -> None:
+        """Admit one arrived request (callers push in arrival order)."""
+        self._pending.append(request)
+        self.enqueued += 1
+        if len(self._pending) > self.max_depth_seen:
+            self.max_depth_seen = len(self._pending)
+
+    def take(self, count: int) -> list[Request]:
+        """Pop up to ``count`` requests in FIFO order."""
+        taken: list[Request] = []
+        while self._pending and len(taken) < count:
+            taken.append(self._pending.popleft())
+        return taken
+
+    def peek_oldest(self) -> Optional[Request]:
+        """The request that has waited longest (or ``None`` when empty)."""
+        return self._pending[0] if self._pending else None

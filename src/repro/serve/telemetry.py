@@ -1,0 +1,225 @@
+"""Serving-side metrics: latency percentiles, distributions, SLO report.
+
+Latencies are recorded into a log-bucketed histogram (constant relative
+error, like HdrHistogram's philosophy at a fraction of the machinery) so
+recording is O(1) and memory is independent of request count — the load
+generator models millions of users, and the telemetry must not be the
+thing that doesn't scale.  Batch sizes and queue depths use the same
+structure over a linear domain.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+class LatencyHistogram:
+    """Log-spaced latency histogram with percentile estimation.
+
+    Buckets grow geometrically between ``min_latency`` and
+    ``max_latency`` (defaults: 100 ns .. 100 s, ~4.6% relative width),
+    so p50/p95/p99 come back with bounded relative error at any scale
+    from cache hits to deep overload queueing.
+    """
+
+    def __init__(
+        self,
+        min_latency: float = 100e-9,
+        max_latency: float = 100.0,
+        buckets_per_decade: int = 50,
+    ) -> None:
+        if min_latency <= 0 or max_latency <= min_latency:
+            raise ValueError("need 0 < min_latency < max_latency")
+        self._min = min_latency
+        self._log_min = math.log(min_latency)
+        decades = math.log10(max_latency / min_latency)
+        self._bucket_count = max(1, int(math.ceil(decades * buckets_per_decade)))
+        self._log_width = (math.log(max_latency) - self._log_min) / self._bucket_count
+        self._counts = [0] * (self._bucket_count + 2)  # + underflow/overflow
+        self.count = 0
+        self.total = 0.0
+        self.max_seen = 0.0
+
+    def _bucket(self, latency: float) -> int:
+        if latency < self._min:
+            return 0
+        index = int((math.log(latency) - self._log_min) / self._log_width) + 1
+        return min(index, self._bucket_count + 1)
+
+    def _bucket_upper(self, index: int) -> float:
+        if index <= 0:
+            return self._min
+        return math.exp(self._log_min + index * self._log_width)
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency {latency!r}")
+        self._counts[self._bucket(latency)] += 1
+        self.count += 1
+        self.total += latency
+        if latency > self.max_seen:
+            self.max_seen = latency
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket holding the ``p``-th percentile.
+
+        Returns 0 for an empty histogram.  ``p`` is in [0, 100].
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        target = math.ceil(self.count * p / 100.0)
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= target:
+                if index == len(self._counts) - 1:
+                    return self.max_seen  # overflow bucket: exact max
+                return self._bucket_upper(index)
+        return self.max_seen
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max_seen,
+        }
+
+
+class Distribution:
+    """Linear-bucketed distribution for small integer-ish domains
+    (batch sizes, queue depths)."""
+
+    def __init__(self, bucket_width: float = 1.0) -> None:
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        self._width = bucket_width
+        self._counts: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.max_seen = 0.0
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative value {value!r}")
+        self._counts[int(value / self._width)] = (
+            self._counts.get(int(value / self._width), 0) + 1
+        )
+        self.count += 1
+        self.total += value
+        if value > self.max_seen:
+            self.max_seen = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Lower edge of the bucket holding the ``p``-th percentile.
+
+        With the default ``bucket_width=1`` over integer-valued domains
+        (batch sizes, queue depths) every value sits on its bucket's
+        lower edge, so this is exact — not a one-bucket overstatement.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        target = math.ceil(self.count * p / 100.0)
+        seen = 0
+        for bucket in sorted(self._counts):
+            seen += self._counts[bucket]
+            if seen >= target:
+                return bucket * self._width
+        return self.max_seen
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.max_seen,
+        }
+
+
+class ServingTelemetry:
+    """Everything the serving tier measures, in one place.
+
+    The serving loop records per-request latency and per-batch shape;
+    the server records refreshes (stall-handler settlements of the
+    staleness clock) and wires in the store's aggregated
+    :class:`~repro.kv.api.StoreStats` — including the summed-counter
+    ``hit_ratio`` a :class:`~repro.kv.sharded.ShardedKVStore` derives
+    across shards — when the report is built.
+    """
+
+    def __init__(self) -> None:
+        self.latency = LatencyHistogram()
+        self.batch_sizes = Distribution()
+        self.queue_depths = Distribution()
+        self.requests_completed = 0
+        self.batches_served = 0
+        self.refreshes = 0  # stall-handler write-backs settling the clock
+        self.first_arrival: Optional[float] = None
+        self.last_completion: Optional[float] = None
+
+    def record_request(self, arrival_time: float, completed_at: float) -> None:
+        self.latency.record(completed_at - arrival_time)
+        self.requests_completed += 1
+        if self.first_arrival is None or arrival_time < self.first_arrival:
+            self.first_arrival = arrival_time
+        if self.last_completion is None or completed_at > self.last_completion:
+            self.last_completion = completed_at
+
+    def record_batch(self, size: int, queue_depth: int) -> None:
+        self.batch_sizes.record(size)
+        self.queue_depths.record(queue_depth)
+        self.batches_served += 1
+
+    def throughput(self) -> float:
+        """Completed requests per simulated second, first arrival to last
+        completion (the sustained rate, queueing included)."""
+        if self.first_arrival is None or self.last_completion is None:
+            return 0.0
+        elapsed = self.last_completion - self.first_arrival
+        return self.requests_completed / elapsed if elapsed > 0 else 0.0
+
+    def slo_report(self, target_p99: float, server=None) -> dict:
+        """Throughput-vs-SLO summary the benchmarks persist.
+
+        ``server`` (an :class:`~repro.serve.server.EmbeddingServer`)
+        contributes tier hit ratios and the store's own counters.
+        """
+        report = {
+            "requests": self.requests_completed,
+            "batches": self.batches_served,
+            "throughput_rps": self.throughput(),
+            "latency": self.latency.summary(),
+            "batch_size": self.batch_sizes.summary(),
+            "queue_depth": self.queue_depths.summary(),
+            "refreshes": self.refreshes,
+            "slo_target_p99": target_p99,
+            "slo_met": bool(
+                self.latency.count > 0 and self.latency.percentile(99) <= target_p99
+            ),
+        }
+        if server is not None:
+            stats = server.store.stats
+            report["tiers"] = server.cache.tiers.ratios()
+            report["store"] = {
+                "gets": stats.gets,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "hit_ratio": stats.hit_ratio(),
+            }
+        return report

@@ -338,10 +338,60 @@ class BaseTrainer:
         atomic epoch — a restore hands back both or neither.
         """
         store = self.tables.store
-        root_fn = getattr(store, "checkpoint_root", None)
-        root = root_fn() if root_fn is not None else store.directory
-        self.save_checkpoint(os.path.join(root, self.TRAINER_STATE_FILE), step)
+        self.save_checkpoint(
+            os.path.join(self._checkpoint_root(store), self.TRAINER_STATE_FILE), step
+        )
         return checkpointer.checkpoint()
+
+    # ------------------------------------------------------------------
+    # model export for the serving tier
+    # ------------------------------------------------------------------
+    SERVABLE_FILE = "servable.model.pkl"
+
+    def export_servable(self, path: Optional[str] = None) -> str:
+        """Write everything a serving node needs to score with this model.
+
+        The servable bundles the dense network (pickled whole — its
+        parameters are autograd leaves, so no backward closures ride
+        along) with the embedding-table schema (``dim``, lazy-init seed
+        and scale) so a restored :class:`~repro.serve.EmbeddingServer`
+        reproduces the in-process model's scores *exactly*, including the
+        deterministic lazy initialization of keys training never touched.
+
+        By default the file lands under the store's checkpoint root, so
+        the next :meth:`checkpoint` upload ships it inside the same
+        atomic epoch as the embedding values it matches.  Returns the
+        path written.
+        """
+        tables = self.tables
+        if path is None:
+            path = os.path.join(
+                self._checkpoint_root(tables.store), self.SERVABLE_FILE
+            )
+        self.network.eval()
+        try:
+            servable = {
+                "network": self.network,
+                "network_type": f"{type(self.network).__module__}."
+                                f"{type(self.network).__qualname__}",
+                "dim": tables.dim,
+                "seed": tables.seed,
+                "init_scale": tables.init_scale,
+                "metric_name": self.metric_name,
+                "trained_steps": self._start_step + self._result.steps,
+            }
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as f:
+                pickle.dump(servable, f)
+            os.replace(tmp, path)
+        finally:
+            self.network.train()
+        return path
+
+    @staticmethod
+    def _checkpoint_root(store) -> str:
+        root_fn = getattr(store, "checkpoint_root", None)
+        return root_fn() if root_fn is not None else store.directory
 
     def _carry_budget(self) -> float:
         """Seconds of background I/O allowed to stay in flight.

@@ -102,14 +102,45 @@ class TestAUC:
         ])
         assert auc(labels, scores) == pytest.approx(pairwise, abs=1e-9)
 
+    def test_partial_ties_exact_midrank_value(self):
+        # scores: neg 0.3, {pos 0.5, neg 0.5} tied, pos 0.9.
+        # Pairs: (p=.5,n=.3)→1, (p=.5,n=.5)→0.5, (p=.9,n=.3)→1,
+        # (p=.9,n=.5)→1  ⇒ AUC = 3.5/4 = 0.875 exactly.
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.3, 0.5, 0.5, 0.9])
+        assert auc(labels, scores) == pytest.approx(0.875, abs=1e-12)
+
+    def test_tie_run_spanning_many_records(self):
+        # 3 positives and 3 negatives all tied: every pair scores 0.5.
+        labels = np.array([1, 1, 1, 0, 0, 0])
+        scores = np.full(6, 0.42)
+        assert auc(labels, scores) == pytest.approx(0.5, abs=1e-12)
+
+    def test_degenerate_all_negative_labels_return_half(self):
+        assert auc(np.zeros(5), np.random.default_rng(0).random(5)) == 0.5
+
+    def test_degenerate_empty_inputs_return_half(self):
+        assert auc(np.array([]), np.array([])) == 0.5
+
     def test_shape_mismatch_rejected(self):
         with pytest.raises(ValueError):
             auc(np.zeros(3), np.zeros(4))
+
+    def test_multidim_inputs_flatten_before_shape_check(self):
+        labels = np.array([[0, 1], [0, 1]])
+        scores = np.array([0.1, 0.8, 0.2, 0.9])
+        assert auc(labels, scores) == 1.0
+        with pytest.raises(ValueError):
+            auc(labels, np.zeros((3, 2)))
 
 
 class TestAccuracyAndHits:
     def test_accuracy(self):
         assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 0])) == pytest.approx(2 / 3)
+
+    def test_accuracy_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1, 2, 3]), np.array([1, 2]))
 
     def test_accuracy_empty_rejected(self):
         with pytest.raises(ValueError):

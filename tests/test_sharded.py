@@ -99,6 +99,41 @@ class TestCrossShardOrdering:
         scanned = dict(sharded.scan())
         assert scanned == {key: key.to_bytes(2, "little") for key in keys}
 
+    def test_scan_merges_mixed_engine_children(self, tmp_path):
+        """Serving cache warmup streams scan() over any engine mix: every
+        live key must appear exactly once, with its newest value."""
+        children = [
+            make_engine(kind, str(tmp_path / kind)) for kind in ENGINES
+        ]
+        store = ShardedKVStore.from_stores(children)
+        keys = list(range(300))
+        store.multi_put(keys, [key.to_bytes(2, "little") for key in keys])
+        store.multi_put([7, 8], [b"new7", b"new8"])  # overwrites
+        store.delete(9)
+        scanned = list(store.scan())
+        assert len(scanned) == len(dict(scanned)) == 299
+        expected = {key: key.to_bytes(2, "little") for key in keys}
+        expected[7], expected[8] = b"new7", b"new8"
+        del expected[9]
+        assert dict(scanned) == expected
+        store.close()
+
+    def test_scan_covers_disk_resident_records(self, tmp_path):
+        """Warmup must see records the buffer evicted, not just hot ones."""
+        store = ShardedKVStore(
+            lambda index: FasterKV(
+                str(tmp_path / f"s{index}"),
+                ssd=SSDModel(SimClock()),
+                memory_budget_bytes=1 << 12,
+                page_bytes=1 << 12,
+            ),
+            num_shards=2,
+        )
+        keys = list(range(400))
+        store.multi_put(keys, [b"x" * 64 for _ in keys])
+        assert dict(store.scan()) == {key: b"x" * 64 for key in keys}
+        store.close()
+
 
 class TestStatsAggregation:
     def test_counters_sum_over_children(self, sharded):
@@ -119,6 +154,41 @@ class TestStatsAggregation:
         sharded.multi_put(list(range(100)), [b"v"] * 100)
         assert sum(sharded.balance()) == 100
         assert sharded.imbalance() >= 1.0
+
+    def test_hit_ratio_derives_from_summed_counters(self, tmp_path):
+        """Regression: the aggregated hit ratio must be Σhits / (Σhits +
+        Σmisses), *not* the mean of per-shard ratios.
+
+        Traffic is asymmetric so the two formulas disagree: shard 0
+        serves 10 gets, all hits (ratio 1.0); shard 1 serves 40 gets
+        with 4 hits (ratio 0.1).  Averaging per-shard ratios yields
+        0.55 regardless of volume; the volume-weighted truth is
+        14 / 50 = 0.28.
+        """
+        store = ShardedKVStore(
+            lambda index: FasterKV(str(tmp_path / f"h{index}")), num_shards=2
+        )
+        # Find keys per shard; fill shard 0 fully, shard 1 sparsely.
+        shard_keys: dict[int, list[int]] = {0: [], 1: []}
+        key = 0
+        while any(len(keys) < 40 for keys in shard_keys.values()):
+            shard_keys[store.shard_of(key)].append(key)
+            key += 1
+        present = shard_keys[0][:10] + shard_keys[1][:4]
+        store.multi_put(present, [b"v"] * len(present))
+        # Shard 0: 10 hits.  Shard 1: 4 hits + 36 misses.
+        store.multi_get(shard_keys[0][:10])
+        store.multi_get(shard_keys[1][:40])
+        stats = store.stats
+        assert stats.hits == 14
+        assert stats.misses == 36
+        averaged = sum(
+            child.stats.hit_ratio() for child in store.shards
+        ) / store.num_shards
+        assert averaged == pytest.approx(0.55)
+        assert stats.hit_ratio() == pytest.approx(14 / 50)
+        assert stats.hit_ratio() != pytest.approx(averaged)
+        store.close()
 
 
 class TestRebalance:
