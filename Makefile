@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-recovery serve-smoke bench bench-smoke lint
+.PHONY: test test-recovery serve-smoke bench bench-smoke bench-gate lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,10 +24,30 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ -q
 
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/test_fig10_ycsb.py benchmarks/test_sharded_batched.py -q
+	$(PYTHON) -m pytest benchmarks/test_fig10_ycsb.py benchmarks/test_sharded_batched.py benchmarks/test_replicated.py -q
 
+# Perf-trajectory gate: snapshot the committed BENCH_*.json baselines,
+# re-run every BENCH-emitting bench (fresh files land at the repo root),
+# and fail on any key metric >30% worse than its baseline.  All compared
+# numbers run on the simulated clock, so the gate is deterministic.  The
+# .gate-start marker keeps the gate honest: a committed baseline the run
+# did not re-emit is reported as "not gated" instead of self-comparing
+# as "ok".
+bench-gate:
+	rm -rf results/baselines && mkdir -p results/baselines
+	cp BENCH_*.json results/baselines/
+	touch results/baselines/.gate-start
+	$(PYTHON) -m pytest benchmarks/test_sharded_batched.py benchmarks/test_serving.py benchmarks/test_replicated.py -q
+	$(PYTHON) benchmarks/compare.py --baseline results/baselines --fresh . --tolerance 0.30 --since results/baselines/.gate-start
+
+# Prefer ruff (fast, wider net) when present; fall back to pyflakes,
+# then to the always-available compileall syntax check.
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
-	@$(PYTHON) -c "import pyflakes" 2>/dev/null \
-		&& $(PYTHON) -m pyflakes src tests benchmarks examples \
-		|| echo "pyflakes not installed; compileall check only"
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	elif $(PYTHON) -c "import pyflakes" >/dev/null 2>&1; then \
+		$(PYTHON) -m pyflakes src tests benchmarks examples; \
+	else \
+		echo "ruff/pyflakes not installed; compileall check only"; \
+	fi

@@ -10,7 +10,6 @@ Embedding dims are scaled (paper 8/16, 200/400, 64/128 → 8/16, 16/32,
 paper does.
 """
 
-import numpy as np
 from _util import report
 
 from repro.bench import BENCH_GPU_FLOPS, build_stack, run_dlrm, run_gnn, run_kge

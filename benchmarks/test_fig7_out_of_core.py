@@ -7,7 +7,6 @@ by 1.08–2.44× (DLRM), 1.36–4.89× (KGE) and 1.53–12.57× (GNN), and is th
 most energy-efficient disk-backed variant (Figure 7 bottom).
 """
 
-import pytest
 from _util import report
 
 from repro.bench import BACKENDS, build_stack, run_dlrm, run_gnn, run_kge

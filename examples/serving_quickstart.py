@@ -15,6 +15,7 @@ Run:  python examples/serving_quickstart.py [--requests N]
 
 import argparse
 import os
+import sys
 import tempfile
 
 import numpy as np
@@ -31,7 +32,14 @@ DIM = 8
 SLO_P99 = 1e-3
 
 
-def main(requests: int) -> None:
+def fail(reason: str) -> int:
+    """One-line, greppable failure verdict (the CI job summary shows the
+    log tail, so the cause must be the last line, not a traceback)."""
+    print(f"serving quickstart FAILED: {reason}")
+    return 1
+
+
+def main(requests: int) -> int:
     work = tempfile.mkdtemp(prefix="serving-quickstart-")
 
     # 1. Train a small DLRM over an MLKV store with a finite bound.
@@ -69,7 +77,11 @@ def main(requests: int) -> None:
 
     # 4. Score parity: the restored server must match bit for bit.
     scores = server.score(batch.dense, batch.sparse)
-    assert np.array_equal(reference, scores), "restored scores diverged!"
+    if not np.array_equal(reference, scores):
+        return fail(
+            f"restored scores diverged from the in-process model on "
+            f"{int((reference != scores).sum())}/{scores.size} entries"
+        )
     print(f"score parity: exact ({scores.shape[0]} scores)")
 
     # 5. Drive load through the coalescing micro-batcher.
@@ -81,7 +93,11 @@ def main(requests: int) -> None:
                        prefetch_distance=2)
     loop.run(arrivals)
     report = loop.report(SLO_P99)
-    assert report["requests"] == requests, report["requests"]
+    if report["requests"] != requests:
+        return fail(
+            f"served {report['requests']} of {requests} offered requests "
+            "(requests were dropped)"
+        )
     latency = report["latency"]
     print(f"served {report['requests']} requests in {report['batches']} "
           f"micro-batches at {report['throughput_rps']:,.0f} req/s")
@@ -94,15 +110,22 @@ def main(requests: int) -> None:
           f"lazy-init {report['tiers']['lazy_init']:.0%}; "
           f"coalesced {report['coalesced_fraction']:.0%}; "
           f"store hit ratio {report['store']['hit_ratio']:.2f}")
-    assert report["slo_met"], "smoke run must meet the 1 ms p99 SLO"
+    if not report["slo_met"]:
+        return fail(
+            f"p99 {latency['p99'] * 1e6:.1f} us exceeds the "
+            f"{SLO_P99 * 1e6:.0f} us SLO "
+            f"(p50 {latency['p50'] * 1e6:.1f} us, "
+            f"queue high-water {report['queue_high_water']})"
+        )
 
     server.close()
     stack.close()
     print("serving quickstart OK")
+    return 0
 
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--requests", type=int, default=1000,
                         help="requests to drive through the server")
-    main(parser.parse_args().requests)
+    sys.exit(main(parser.parse_args().requests))

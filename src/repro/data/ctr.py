@@ -15,7 +15,6 @@ sweeps their hit-ratio structure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
 
 import numpy as np
 

@@ -12,12 +12,25 @@ All three persist to real files and charge simulated I/O costs to a shared
 exercise genuine hit/miss paths in each engine.
 
 :mod:`repro.kv.sharded` composes any mix of them into a hash-partitioned
-:class:`~repro.kv.sharded.ShardedKVStore` for horizontal scale-out, and
-every engine overrides ``multi_get``/``multi_put`` with genuinely batched
-hot paths (one epoch acquisition, WAL group commits, single leaf walks).
+:class:`~repro.kv.sharded.ShardedKVStore` for horizontal scale-out —
+with live ``split_shard``/``migrate_shard`` rescaling (copy-then-cutover
+under load) — and every engine overrides ``multi_get``/``multi_put``
+with genuinely batched hot paths (one epoch acquisition, WAL group
+commits, single leaf walks).  :mod:`repro.kv.replicated` stacks N-way
+replica groups on top for availability: synchronous write fan-out,
+divergence-bounded read routing, failover with hinted catch-up.
 """
 
 from repro.kv.api import KVStore, StoreStats
-from repro.kv.sharded import ShardedKVStore, shard_hash
+from repro.kv.replicated import ReplicaGroup, ReplicatedKVStore
+from repro.kv.sharded import ShardedKVStore, ShardMigration, shard_hash
 
-__all__ = ["KVStore", "StoreStats", "ShardedKVStore", "shard_hash"]
+__all__ = [
+    "KVStore",
+    "ReplicaGroup",
+    "ReplicatedKVStore",
+    "ShardMigration",
+    "ShardedKVStore",
+    "StoreStats",
+    "shard_hash",
+]

@@ -12,7 +12,6 @@ from __future__ import annotations
 import json
 import os
 import struct
-from typing import Optional
 
 from repro.device.ssd import SSDModel
 from repro.errors import StorageError

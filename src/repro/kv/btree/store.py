@@ -16,7 +16,7 @@ from __future__ import annotations
 import bisect
 import os
 import struct
-from typing import Callable, Iterator, Optional
+from typing import Iterator, Optional
 
 from repro.device.clock import SimClock
 from repro.device.ssd import SSDModel

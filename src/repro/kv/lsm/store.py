@@ -11,11 +11,10 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Callable, Iterator, Optional
+from typing import Iterator, Optional
 
 from repro.device.clock import SimClock
 from repro.device.ssd import SSDModel
-from repro.errors import StorageError
 from repro.kv.api import CheckpointManager, KVStore, StoreStats
 from repro.kv.common.cache import LRUCache
 from repro.kv.lsm.compaction import LeveledPolicy, merge_runs

@@ -1,0 +1,678 @@
+"""N-way replicated composition of sharded key-value engines.
+
+:class:`ReplicatedKVStore` is the availability layer on top of the
+hash-sharded scale-out layer: every shard becomes a :class:`ReplicaGroup`
+of N independent engine instances holding the same key range.  Writes fan
+out to every live replica synchronously; reads route to **one** replica
+per shard, so read throughput is unchanged by the replication factor and
+a failed replica costs availability nothing — the router simply stops
+picking it.
+
+Consistency reuses the paper's machinery instead of inventing a new
+mode: each group keeps a :class:`~repro.device.clock.ReplicaVersionClock`
+— the vector-clock staleness bound of MLKV applied at replica
+granularity.  A replica's *lag* is the number of group writes it has not
+applied (normally zero: fan-out is synchronous; failures and deliberate
+catch-up-free revivals make it positive), and the ``divergence_bound``
+admits a replica for reads only while its lag is within the bound — the
+same staleness contract bounded stores give individual records.
+
+Failure handling:
+
+* :meth:`~ReplicatedKVStore.fail_replica` marks a replica dead.  Writes
+  continue on the survivors; each key written while a replica is down is
+  recorded as a **hint** against it (hinted handoff).
+* :meth:`~ReplicatedKVStore.revive_replica` brings it back: hinted keys
+  are re-read from an up-to-date peer (``snapshot_read_many`` — the
+  committed-read path checkpoints restore through) and replayed onto the
+  reviving replica, after which its clock acknowledges the current group
+  version.  If the hint set overflowed ``max_hints`` while it was down,
+  the replica is instead rebuilt wholesale from a peer's ``scan()`` —
+  the degenerate case where replaying a WAL-sized delta would cost more
+  than re-shipping the image.
+* :meth:`~ReplicatedKVStore.slow_replica` injects per-operation latency
+  on one replica (a degraded disk, a noisy neighbor); the read router
+  prefers un-slowed admissible replicas, so a slow replica is routed
+  around exactly like a dead one as long as a healthy peer exists.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.device.clock import ReplicaVersionClock
+from repro.errors import ConfigError, StorageError
+from repro.kv.api import KVStore, StoreStats
+from repro.kv.sharded import shard_hash
+
+READ_POLICIES = ("one", "quorum")
+
+#: Clock component chaos-injected slowness is charged to (visible in the
+#: busy-time table, separate from genuine cpu/ssd work).
+CHAOS_COMPONENT = "chaos"
+
+
+class ReplicaGroup:
+    """One shard's replica set: N engines, a version clock, hint queues.
+
+    The group is the unit of fan-out and failover; the
+    :class:`ReplicatedKVStore` above it only routes shards to groups.
+    """
+
+    def __init__(self, replicas: Sequence[KVStore], max_hints: int = 100_000) -> None:
+        if not replicas:
+            raise ConfigError("a replica group needs at least one replica")
+        self.replicas: list[KVStore] = list(replicas)
+        self.alive: list[bool] = [True] * len(self.replicas)
+        self.clock = ReplicaVersionClock(len(self.replicas))
+        self.max_hints = max_hints
+        # Per-replica hinted-handoff sets: keys written while it was down.
+        # ``None`` marks an overflowed set (full resync needed on revive).
+        self._hints: list[Optional[set[int]]] = [set() for _ in self.replicas]
+        self._slow_penalty: list[float] = [0.0] * len(self.replicas)
+        self._cursor = 0  # round-robin start for read routing
+        self.failovers = 0  # reads that skipped the preferred replica
+        self.catchup_keys = 0  # keys replayed by hinted catch-up
+        self.resyncs = 0  # full scan-copy rebuilds
+
+    # ------------------------------------------------------------------
+    # liveness & health
+    # ------------------------------------------------------------------
+    @property
+    def replication(self) -> int:
+        return len(self.replicas)
+
+    def live_indices(self) -> list[int]:
+        return [index for index, up in enumerate(self.alive) if up]
+
+    def fail(self, replica: int) -> None:
+        """Mark ``replica`` dead.
+
+        A fully caught-up (lag 0) live replica must survive: the scalar
+        version clock counts *how many* writes a replica missed, not
+        *which*, so two replicas with disjoint gaps could not repair
+        each other — catch-up needs a donor holding every acknowledged
+        write.  Keeping one complete replica alive at all times is the
+        invariant that makes lag 0 mean "holds everything" (and is why
+        :meth:`_complete_peer` can never come up empty).
+        """
+        if not self.alive[replica]:
+            return
+        survivors = [
+            index for index in self.live_indices() if index != replica
+        ]
+        if not any(self.clock.lag(index) == 0 for index in survivors):
+            raise StorageError(
+                f"cannot fail replica {replica}: no fully caught-up live "
+                "replica would remain (catch up a lagging replica first)"
+            )
+        self.alive[replica] = False
+
+    def revive(self, replica: int, catch_up: bool = True) -> int:
+        """Bring ``replica`` back; returns the number of keys replayed.
+
+        With ``catch_up=True`` (the default) the hinted keys — or, after
+        hint overflow, the whole image — are copied from an up-to-date
+        peer before the replica is admitted for reads.  With
+        ``catch_up=False`` the replica comes back *lagging*: it is live
+        for writes but the divergence bound keeps it out of read routing
+        until :meth:`catch_up` runs.
+        """
+        if self.alive[replica]:
+            return 0
+        self.alive[replica] = True
+        return self.catch_up(replica) if catch_up else 0
+
+    def catch_up(self, replica: int) -> int:
+        """Replay missed writes onto a live, lagging replica."""
+        if not self.alive[replica]:
+            raise StorageError("catch_up needs a live replica; revive it first")
+        hints = self._hints[replica]
+        if hints is not None and not hints and self.clock.lag(replica) == 0:
+            return 0  # already converged: no donor needed
+        donor = self._complete_peer(exclude=replica)
+        replayed = 0
+        if hints is None:
+            # Hint overflow: rebuild from a peer's full image (batched —
+            # this path exists for large images, so it must use the
+            # engines' amortized write path), then drop records the
+            # group deleted while this replica was down.
+            target = self.replicas[replica]
+            donor_keys: set[int] = set()
+            batch_keys: list[int] = []
+            batch_values: list[bytes] = []
+            for key, value in self.replicas[donor].scan():
+                batch_keys.append(key)
+                batch_values.append(value)
+                donor_keys.add(key)
+                replayed += 1
+                if len(batch_keys) >= 1024:
+                    target.multi_put(batch_keys, batch_values)
+                    batch_keys, batch_values = [], []
+            if batch_keys:
+                target.multi_put(batch_keys, batch_values)
+            for key, _ in list(target.scan()):
+                if key not in donor_keys:
+                    target.delete(key)
+            self.resyncs += 1
+        elif hints:
+            keys = sorted(hints)
+            values = self.replicas[donor].snapshot_read_many(keys)
+            put_keys, put_values = [], []
+            for key, value in zip(keys, values):
+                if value is None:
+                    self.replicas[replica].delete(key)
+                else:
+                    put_keys.append(key)
+                    put_values.append(value)
+            if put_keys:
+                self.replicas[replica].multi_put(put_keys, put_values)
+            replayed = len(keys)
+        self._hints[replica] = set()
+        self.clock.ack(replica)
+        self.catchup_keys += replayed
+        return replayed
+
+    def slow(self, replica: int, penalty_seconds: float) -> None:
+        """Inject ``penalty_seconds`` of extra latency per read on one
+        replica (0 clears it)."""
+        if penalty_seconds < 0:
+            raise ConfigError(f"penalty must be non-negative, got {penalty_seconds}")
+        self._slow_penalty[replica] = penalty_seconds
+
+    def _complete_peer(self, exclude: int) -> int:
+        """A live replica holding **every** acknowledged write (lag 0).
+
+        Only a lag-0 replica is a sound read source for catch-up, rmw
+        and scans: the scalar clock cannot tell which writes a lagging
+        replica missed, so "highest applied version" alone could pick a
+        donor missing an acknowledged write.  The :meth:`fail` invariant
+        guarantees such a replica exists.
+        """
+        candidates = [
+            index
+            for index in self.live_indices()
+            if index != exclude and self.clock.lag(index) == 0
+        ]
+        if not candidates:
+            raise StorageError(
+                "no fully caught-up live replica to read from; catch up a "
+                "lagging replica first"
+            )
+        return candidates[0]
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def pick_reader(self, bound: int) -> int:
+        """One admissible replica: live, lag ≤ bound, un-slowed preferred.
+
+        Round-robin over the admissible pool spreads read load; when
+        every admissible replica is slowed the least-penalized one is
+        chosen (degraded service beats no service).  Raises when no live
+        replica is within the divergence bound.  ``failovers`` counts
+        reads served while the pool was short of the configured
+        replication factor — reads that routed around a dead, lagging,
+        or slowed replica.
+        """
+        admissible = [
+            index for index in self.live_indices() if self.clock.in_bound(index, bound)
+        ]
+        if not admissible:
+            live = self.live_indices()
+            raise StorageError(
+                f"no replica within divergence bound {bound}; live replicas "
+                f"{live} lag {[self.clock.lag(index) for index in live]} "
+                "(run catch_up first)"
+            )
+        healthy = [index for index in admissible if not self._slow_penalty[index]]
+        pool = healthy or admissible
+        if len(pool) < self.replication:
+            self.failovers += 1
+        if not healthy:
+            return min(admissible, key=lambda index: self._slow_penalty[index])
+        choice = pool[self._cursor % len(pool)]
+        self._cursor += 1
+        return choice
+
+    def quorum_readers(self) -> list[int]:
+        """A majority of live replicas, freshest first.
+
+        Quorum reads filter on liveness only — the freshest-first
+        ranking (the first reader's answers win) is what guarantees a
+        current value, so the divergence bound does not apply here.
+        Reads served by a short group still count as failovers.
+        """
+        live = self.live_indices()
+        needed = self.replication // 2 + 1
+        if len(live) < needed:
+            raise StorageError(
+                f"quorum needs {needed} of {self.replication} replicas, "
+                f"only {len(live)} live"
+            )
+        if len(live) < self.replication:
+            self.failovers += 1
+        ranked = sorted(live, key=lambda index: -self.clock.applied[index])
+        return ranked[:needed]
+
+    def charge_penalty(self, replica: int) -> None:
+        """Pay the injected slowness on the shared simulated clock."""
+        penalty = self._slow_penalty[replica]
+        if penalty:
+            clock = getattr(self.replicas[replica], "clock", None)
+            if clock is not None:
+                clock.advance(penalty, component=CHAOS_COMPONENT)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def fanout_put(self, key: int, value: bytes) -> None:
+        self.clock.advance()
+        for index, replica in enumerate(self.replicas):
+            if self.alive[index]:
+                replica.put(key, value)
+                # apply(), not ack(): a lagging replica keeps its gap —
+                # taking new writes does not un-miss the hinted ones.
+                self.clock.apply(index)
+            else:
+                self._hint(index, key)
+
+    def fanout_delete(self, key: int) -> bool:
+        self.clock.advance()
+        existed = False
+        for index, replica in enumerate(self.replicas):
+            if self.alive[index]:
+                existed = replica.delete(key) or existed
+                self.clock.apply(index)
+            else:
+                self._hint(index, key)
+        return existed
+
+    def fanout_multi_put(self, keys: list, values: list) -> None:
+        self.clock.advance(len(keys))
+        for index, replica in enumerate(self.replicas):
+            if self.alive[index]:
+                replica.multi_put(keys, values)
+                self.clock.apply(index, len(keys))
+            else:
+                for key in keys:
+                    self._hint(index, key)
+
+    def _hint(self, replica: int, key: int) -> None:
+        hints = self._hints[replica]
+        if hints is None:
+            return  # already overflowed: revive will full-resync
+        hints.add(key)
+        if len(hints) > self.max_hints:
+            self._hints[replica] = None
+
+    def hints_outstanding(self, replica: int) -> int:
+        """Hinted keys queued for ``replica`` (-1 after overflow)."""
+        hints = self._hints[replica]
+        return -1 if hints is None else len(hints)
+
+
+class ReplicatedKVStore(KVStore):
+    """Hash-sharded store with N-way replica groups per shard.
+
+    Parameters
+    ----------
+    factory:
+        ``factory(shard_index, replica_index) -> KVStore`` building one
+        engine per (shard, replica); replicas of a shard must be
+        independent instances (their own directories).
+    num_shards:
+        Number of hash partitions (same splitmix64 routing as
+        :class:`~repro.kv.sharded.ShardedKVStore`).
+    replication:
+        Replicas per shard (1 = plain sharding with group bookkeeping).
+    divergence_bound:
+        Maximum missed writes a replica may lag and still serve reads
+        (0 = only fully caught-up replicas serve; the BSP of replicas).
+    read_policy:
+        ``"one"`` — route each read to one admissible replica (the
+        serving hot path); ``"quorum"`` — read a majority and answer
+        from the freshest (survives reading a stale replica even when
+        the bound admits it).
+    max_hints:
+        Per-replica hinted-handoff cap; beyond it a revive rebuilds the
+        replica from a peer's full scan instead of replaying hints.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[int, int], KVStore],
+        num_shards: int,
+        replication: int = 2,
+        divergence_bound: int = 0,
+        read_policy: str = "one",
+        max_hints: int = 100_000,
+    ) -> None:
+        if num_shards <= 0:
+            raise ConfigError(f"num_shards must be positive, got {num_shards}")
+        if replication <= 0:
+            raise ConfigError(f"replication must be positive, got {replication}")
+        if divergence_bound < 0:
+            raise ConfigError(f"divergence_bound must be >= 0, got {divergence_bound}")
+        if read_policy not in READ_POLICIES:
+            raise ConfigError(
+                f"read_policy must be one of {READ_POLICIES}, got {read_policy!r}"
+            )
+        self.num_shards = num_shards
+        self.replication = replication
+        self.divergence_bound = divergence_bound
+        self.read_policy = read_policy
+        self.groups: list[ReplicaGroup] = [
+            ReplicaGroup(
+                [factory(shard, replica) for replica in range(replication)],
+                max_hints=max_hints,
+            )
+            for shard in range(num_shards)
+        ]
+        self._shard_ops = [0] * num_shards
+        self._closed = False
+
+    @classmethod
+    def from_groups(
+        cls,
+        groups: Sequence[ReplicaGroup],
+        divergence_bound: int = 0,
+        read_policy: str = "one",
+    ) -> "ReplicatedKVStore":
+        """Wrap already-constructed replica groups (one per shard)."""
+        groups = list(groups)
+        if not groups:
+            raise ConfigError("from_groups needs at least one group")
+        store = cls(
+            lambda shard, replica: groups[shard].replicas[replica],
+            num_shards=len(groups),
+            replication=groups[0].replication,
+            divergence_bound=divergence_bound,
+            read_policy=read_policy,
+        )
+        # Keep the callers' groups (clock state, hints, counters) rather
+        # than the fresh ones the constructor built around the replicas.
+        store.groups = groups
+        return store
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_of(self, key: int) -> int:
+        return shard_hash(key) % self.num_shards
+
+    def _partition_keys(self, keys: list) -> dict[int, list[int]]:
+        by_shard: dict[int, list[int]] = {}
+        for position, key in enumerate(keys):
+            by_shard.setdefault(self.shard_of(key), []).append(position)
+        return by_shard
+
+    def _read_replica(self, group: ReplicaGroup) -> int:
+        choice = group.pick_reader(self.divergence_bound)
+        group.charge_penalty(choice)
+        return choice
+
+    # ------------------------------------------------------------------
+    # KVStore interface — reads
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> Optional[bytes]:
+        shard = self.shard_of(key)
+        self._shard_ops[shard] += 1
+        group = self.groups[shard]
+        if self.read_policy == "quorum":
+            return self._quorum_get(group, key, snapshot=False)
+        return group.replicas[self._read_replica(group)].get(key)
+
+    def multi_get(self, keys) -> list:
+        """One batched sub-read per shard, served by one replica each."""
+        return self._batched_read(keys, snapshot=False)
+
+    def snapshot_read(self, key: int) -> Optional[bytes]:
+        shard = self.shard_of(key)
+        self._shard_ops[shard] += 1
+        group = self.groups[shard]
+        if self.read_policy == "quorum":
+            return self._quorum_get(group, key, snapshot=True)
+        return group.replicas[self._read_replica(group)].snapshot_read(key)
+
+    def snapshot_read_many(self, keys) -> list:
+        return self._batched_read(keys, snapshot=True)
+
+    def read_committed_many(self, keys) -> list:
+        """Training-side alias of :meth:`snapshot_read_many` (one fan-out)."""
+        return self.snapshot_read_many(keys)
+
+    def _batched_read(self, keys, snapshot: bool) -> list:
+        keys = self._normalize_keys(keys)
+        results: list = [None] * len(keys)
+        for shard, positions in self._partition_keys(keys).items():
+            self._shard_ops[shard] += len(positions)
+            group = self.groups[shard]
+            sub_keys = [keys[position] for position in positions]
+            if self.read_policy == "quorum":
+                sub_results = self._quorum_multi(group, sub_keys, snapshot)
+            else:
+                replica = self._read_replica(group)
+                reader = group.replicas[replica]
+                sub_results = (
+                    reader.snapshot_read_many(sub_keys)
+                    if snapshot
+                    else reader.multi_get(sub_keys)
+                )
+            for position, value in zip(positions, sub_results):
+                results[position] = value
+        return results
+
+    def _quorum_get(self, group: ReplicaGroup, key: int, snapshot: bool):
+        return self._quorum_multi(group, [key], snapshot)[0]
+
+    def _quorum_multi(self, group: ReplicaGroup, keys: list, snapshot: bool) -> list:
+        """Read a majority; answer from the freshest replica read.
+
+        ``quorum_readers`` ranks by applied version, so the first
+        reader's answers win; the remaining majority members are still
+        read (paying their cost) — that is the price of quorum reads and
+        exactly why ``read_one`` + divergence bound is the serving path.
+        """
+        answers = []
+        for replica in group.quorum_readers():
+            group.charge_penalty(replica)
+            reader = group.replicas[replica]
+            answers.append(
+                reader.snapshot_read_many(keys) if snapshot else reader.multi_get(keys)
+            )
+        return answers[0]
+
+    # ------------------------------------------------------------------
+    # KVStore interface — writes (synchronous fan-out)
+    # ------------------------------------------------------------------
+    def put(self, key: int, value: bytes) -> None:
+        self._check_writable()
+        shard = self.shard_of(key)
+        self._shard_ops[shard] += 1
+        self.groups[shard].fanout_put(key, value)
+
+    def delete(self, key: int) -> bool:
+        self._check_writable()
+        shard = self.shard_of(key)
+        self._shard_ops[shard] += 1
+        return self.groups[shard].fanout_delete(key)
+
+    def rmw(self, key: int, update: Callable[[Optional[bytes]], bytes]) -> bytes:
+        """Read-modify-write reading from the **freshest** live replica.
+
+        The divergence bound licenses stale *reads*, never stale
+        write-backs: routing the read half through a bounded-stale
+        replica would fan its old value out over fresher copies (a lost
+        update).  So the read half bypasses read routing and always uses
+        the live replica with the highest applied version.
+        """
+        self._check_writable()
+        shard = self.shard_of(key)
+        self._shard_ops[shard] += 1
+        group = self.groups[shard]
+        freshest = group.replicas[group._complete_peer(exclude=-1)]
+        new_value = update(freshest.get(key))
+        group.fanout_put(key, new_value)
+        return new_value
+
+    def multi_put(self, keys, values) -> None:
+        self._check_writable()
+        keys, values = self._normalize_pairs(keys, values)
+        for shard, positions in self._partition_keys(keys).items():
+            self._shard_ops[shard] += len(positions)
+            self.groups[shard].fanout_multi_put(
+                [keys[position] for position in positions],
+                [values[position] for position in positions],
+            )
+
+    # ------------------------------------------------------------------
+    # fault injection & recovery (the chaos surface)
+    # ------------------------------------------------------------------
+    def fail_replica(self, shard: int, replica: int) -> None:
+        """Kill one replica; reads and writes route around it."""
+        self.groups[shard].fail(replica)
+
+    def revive_replica(self, shard: int, replica: int, catch_up: bool = True) -> int:
+        """Bring a replica back (hinted catch-up unless ``catch_up=False``)."""
+        return self.groups[shard].revive(replica, catch_up=catch_up)
+
+    def catch_up_replica(self, shard: int, replica: int) -> int:
+        """Replay missed writes onto a live, lagging replica."""
+        return self.groups[shard].catch_up(replica)
+
+    def slow_replica(self, shard: int, replica: int, penalty_seconds: float) -> None:
+        """Inject per-read latency on one replica (0 clears it)."""
+        self.groups[shard].slow(replica, penalty_seconds)
+
+    def replica_lag(self, shard: int, replica: int) -> int:
+        return self.groups[shard].clock.lag(replica)
+
+    # ------------------------------------------------------------------
+    # passthroughs the serving tier relies on
+    # ------------------------------------------------------------------
+    def scan(self) -> Iterator[tuple[int, bytes]]:
+        """All live records, once each, from one fresh replica per shard."""
+        for group in self.groups:
+            donor = group._complete_peer(exclude=-1)
+            yield from group.replicas[donor].scan()
+
+    def lookahead(self, keys) -> int:
+        """Stage a prefetch batch on each shard's current reader."""
+        keys = self._normalize_keys(keys)
+        copied = 0
+        for shard, positions in self._partition_keys(keys).items():
+            group = self.groups[shard]
+            reader = group.replicas[self._read_replica(group)]
+            engine = getattr(reader, "lookahead", None)
+            if engine is not None:
+                copied += engine([keys[position] for position in positions])
+        return copied
+
+    def set_stall_handler(self, handler) -> None:
+        for group in self.groups:
+            for replica in group.replicas:
+                sink = getattr(replica, "set_stall_handler", None)
+                if sink is not None:
+                    sink(handler)
+
+    @property
+    def staleness_bound(self):
+        """Tightest child bound, exposed only when every replica has one."""
+        bounds = [
+            getattr(replica, "staleness_bound", None)
+            for group in self.groups
+            for replica in group.replicas
+        ]
+        if any(bound is None for bound in bounds):
+            raise AttributeError("not every replica enforces a staleness bound")
+        return min(bounds)
+
+    @property
+    def clock(self):
+        """The simulated clock shared by every replica, when there is one."""
+        first = getattr(self.groups[0].replicas[0], "clock", None)
+        if first is not None and all(
+            getattr(replica, "clock", None) is first
+            for group in self.groups
+            for replica in group.replicas
+        ):
+            return first
+        raise AttributeError("replicas do not share a single clock")
+
+    @property
+    def ssd(self):
+        """The device model shared by every replica, when there is one."""
+        first = getattr(self.groups[0].replicas[0], "ssd", None)
+        if first is not None and all(
+            getattr(replica, "ssd", None) is first
+            for group in self.groups
+            for replica in group.replicas
+        ):
+            return first
+        raise AttributeError("replicas do not share a single SSD device")
+
+    def freeze(self) -> "ReplicatedKVStore":
+        for group in self.groups:
+            for replica in group.replicas:
+                replica.freeze()
+        self.read_only = True
+        return self
+
+    def close(self) -> None:
+        if not self._closed:
+            for group in self.groups:
+                for replica in group.replicas:
+                    replica.close()
+            self._closed = True
+
+    def __len__(self) -> int:
+        """Live records, counted once per shard on a fresh replica."""
+        total = 0
+        for group in self.groups:
+            donor = group.replicas[group._complete_peer(exclude=-1)]
+            try:
+                total += len(donor)  # type: ignore[arg-type]
+            except TypeError:
+                total += sum(1 for _ in donor.scan())
+        return total
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> StoreStats:
+        """Aggregated counters over every replica of every group.
+
+        Reads touch one replica per shard and writes touch all live
+        replicas, so ``puts`` counts fan-out copies (the real work done)
+        while ``gets``/``hits``/``misses`` reflect the single routed
+        read path.  ``extra`` carries replication health: per-group lag
+        vectors, failover counts, hinted keys outstanding.
+        """
+        total = StoreStats()
+        lags, failovers, hints, catchups = [], 0, [], 0
+        for group in self.groups:
+            for replica in group.replicas:
+                child = replica.stats
+                total.gets += child.gets
+                total.puts += child.puts
+                total.deletes += child.deletes
+                total.hits += child.hits
+                total.misses += child.misses
+            lags.append([group.clock.lag(index) for index in range(group.replication)])
+            failovers += group.failovers
+            catchups += group.catchup_keys
+            hints.append(
+                [group.hints_outstanding(index) for index in range(group.replication)]
+            )
+        total.extra["shard_ops"] = list(self._shard_ops)
+        total.extra["replica_lag"] = lags
+        total.extra["failovers"] = failovers
+        total.extra["catchup_keys"] = catchups
+        total.extra["hints_outstanding"] = hints
+        return total
+
+    def balance(self) -> list[int]:
+        """Operations routed to each shard since construction."""
+        return list(self._shard_ops)

@@ -75,6 +75,14 @@ class ShardedKVStore(KVStore, CheckpointManager):
         self.directory = directory
         self.shards: list[KVStore] = [factory(index) for index in range(num_shards)]
         self._shard_ops = [0] * num_shards
+        # Slot routing table: a key hashes to a *slot* (``hash % len``),
+        # the slot names the owning engine.  Initially the identity, so
+        # routing is exactly ``hash % num_shards``; live splits double
+        # the table and re-point individual slots (see ShardMigration).
+        self._slots: list[int] = list(range(num_shards))
+        # In-flight migrations keyed by source engine index: writes to a
+        # moving key range are dual-logged into the migration's delta.
+        self._migrations: dict[int, "ShardMigration"] = {}
         self._closed = False
 
     @classmethod
@@ -89,8 +97,12 @@ class ShardedKVStore(KVStore, CheckpointManager):
     # routing
     # ------------------------------------------------------------------
     def shard_of(self, key: int) -> int:
-        """Deterministic shard index for ``key``."""
-        return shard_hash(key) % self.num_shards
+        """Deterministic engine index for ``key`` (via the slot table)."""
+        return self._slots[shard_hash(key) % len(self._slots)]
+
+    def slot_of(self, key: int) -> int:
+        """The routing slot ``key`` hashes to (slots move; engines host)."""
+        return shard_hash(key) % len(self._slots)
 
     def _partition_keys(self, keys: list) -> dict[int, list[int]]:
         """Group input *positions* by owning shard, preserving order."""
@@ -111,16 +123,27 @@ class ShardedKVStore(KVStore, CheckpointManager):
         shard = self.shard_of(key)
         self._shard_ops[shard] += 1
         self.shards[shard].put(key, value)
+        self._note_write(shard, key)
 
     def delete(self, key: int) -> bool:
         shard = self.shard_of(key)
         self._shard_ops[shard] += 1
-        return self.shards[shard].delete(key)
+        existed = self.shards[shard].delete(key)
+        self._note_write(shard, key)
+        return existed
 
     def rmw(self, key: int, update: Callable[[Optional[bytes]], bytes]) -> bytes:
         shard = self.shard_of(key)
         self._shard_ops[shard] += 1
-        return self.shards[shard].rmw(key, update)
+        value = self.shards[shard].rmw(key, update)
+        self._note_write(shard, key)
+        return value
+
+    def _note_write(self, shard: int, key: int) -> None:
+        """Dual-log a write into the shard's in-flight migration, if any."""
+        migration = self._migrations.get(shard)
+        if migration is not None:
+            migration.note_write(key)
 
     def multi_get(self, keys) -> list:
         """Fan one batch out as one batched sub-read per shard.
@@ -153,6 +176,9 @@ class ShardedKVStore(KVStore, CheckpointManager):
                 [keys[position] for position in positions],
                 [values[position] for position in positions],
             )
+            if shard in self._migrations:
+                for position in positions:
+                    self._note_write(shard, keys[position])
 
     def scan(self) -> Iterator[tuple[int, bytes]]:
         """All live records: the child iterators merged shard by shard.
@@ -359,6 +385,7 @@ class ShardedKVStore(KVStore, CheckpointManager):
                 f"{type(shard).__module__}.{type(shard).__qualname__}"
                 for shard in self.shards
             ],
+            "slots": list(self._slots),
         }
         tmp = os.path.join(self.directory, _MANIFEST + ".tmp")
         with open(tmp, "w") as f:
@@ -410,7 +437,16 @@ class ShardedKVStore(KVStore, CheckpointManager):
                 module_name, _, class_name = manifest["types"][index].rpartition(".")
                 shard_cls = getattr(importlib.import_module(module_name), class_name)
                 shards.append(shard_cls.restore(shard_dir, **kwargs))
-        return cls.from_stores(shards, directory=directory)
+        store = cls.from_stores(shards, directory=directory)
+        slots = manifest.get("slots")
+        if slots is not None:
+            if any(not 0 <= slot < len(shards) for slot in slots):
+                raise CheckpointError(
+                    f"manifest slot table {slots} references engines outside "
+                    f"0..{len(shards) - 1}"
+                )
+            store._slots = list(slots)
+        return store
 
     # ------------------------------------------------------------------
     # rebalancing
@@ -439,3 +475,254 @@ class ShardedKVStore(KVStore, CheckpointManager):
         if pending_keys:
             target.multi_put(pending_keys, pending_values)
         return target
+
+    # ------------------------------------------------------------------
+    # live migration: split / migrate with copy-then-cutover
+    # ------------------------------------------------------------------
+    def begin_split(
+        self, shard_index: int, factory: Callable[[int], KVStore]
+    ) -> "ShardMigration":
+        """Start splitting one engine's key range onto a new engine.
+
+        If the engine owns a single routing slot, the slot table doubles
+        first (pure routing arithmetic: slot ``s`` becomes slots ``s``
+        and ``s + L`` pointing at the same engine, and a key lands on
+        ``s + L`` exactly when it landed on ``s`` under the old modulus
+        — no data moves).  The highest slot the engine owns is then
+        marked *moving*: its keys are snapshot-copied to the new engine
+        built by ``factory(new_engine_index)`` while the source keeps
+        serving reads and absorbing writes (dual-logged as deltas).
+        :meth:`ShardMigration.cutover` replays the deltas, re-points the
+        slot, and removes the moved keys from the source.
+        """
+        self._check_migratable(shard_index)
+        owned = [slot for slot, engine in enumerate(self._slots) if engine == shard_index]
+        if not owned:
+            raise ConfigError(f"engine {shard_index} owns no routing slot")
+        if len(owned) == 1:
+            self._slots = self._slots + self._slots
+            owned = [owned[0], owned[0] + len(self._slots) // 2]
+        target = factory(len(self.shards))
+        migration = ShardMigration(
+            self, shard_index, target, moving_slots={owned[-1]}, replace=False
+        )
+        self._migrations[shard_index] = migration
+        return migration
+
+    def split_shard(
+        self, shard_index: int, factory: Callable[[int], KVStore], batch: int = 1024
+    ) -> int:
+        """Split an engine in one call; returns the new engine's index.
+
+        Equivalent to :meth:`begin_split` + copy-to-completion +
+        :meth:`ShardMigration.cutover`.  Callers that need to interleave
+        their own writes with the copy (a genuine rescale under load)
+        drive the migration object directly.
+        """
+        return self.begin_split(shard_index, factory).run(batch=batch)
+
+    def begin_migrate(
+        self, shard_index: int, factory: Callable[[int], KVStore]
+    ) -> "ShardMigration":
+        """Start moving an engine's *entire* range to a replacement engine.
+
+        The replacement (``factory(shard_index)``) takes over every slot
+        the old engine owns at cutover — node replacement for a failed
+        or hot shard, with the same copy-then-cutover discipline as a
+        split.  The old engine is closed after cutover.
+        """
+        self._check_migratable(shard_index)
+        owned = {slot for slot, engine in enumerate(self._slots) if engine == shard_index}
+        if not owned:
+            raise ConfigError(f"engine {shard_index} owns no routing slot")
+        target = factory(shard_index)
+        migration = ShardMigration(
+            self, shard_index, target, moving_slots=owned, replace=True
+        )
+        self._migrations[shard_index] = migration
+        return migration
+
+    def migrate_shard(
+        self, shard_index: int, factory: Callable[[int], KVStore], batch: int = 1024
+    ) -> int:
+        """Replace an engine in one call; returns the engine's index."""
+        return self.begin_migrate(shard_index, factory).run(batch=batch)
+
+    def _check_migratable(self, shard_index: int) -> None:
+        if not 0 <= shard_index < len(self.shards):
+            raise ConfigError(
+                f"no engine {shard_index}; have {len(self.shards)} shards"
+            )
+        if self._migrations:
+            raise ConfigError(
+                "another migration is in flight; cut it over or abort it "
+                "first (the slot-table arithmetic is per-migration)"
+            )
+        if self.read_only:
+            raise ConfigError("cannot migrate a frozen store")
+
+
+class ShardMigration:
+    """Copy-then-cutover state machine for one live shard move.
+
+    Lifecycle::
+
+        migration = store.begin_split(0, factory)   # or begin_migrate
+        while migration.copy_step(batch):            # interleave writes
+            ...                                      #   freely here
+        migration.cutover()                          # or .abort() on failure
+
+    Between ``begin`` and ``cutover`` the source engine remains the
+    owner: reads route to it and writes land on it, with writes into the
+    moving key range *also* recorded as deltas.  ``copy_step`` streams
+    the begin-time snapshot (committed reads via ``snapshot_read_many``)
+    to the target in batches; ``cutover`` drains the remaining snapshot,
+    replays the delta log until it is empty, re-points the routing
+    slot(s), and removes moved keys from the source — so at every
+    instant each key has exactly one serving owner and no write is lost.
+    """
+
+    def __init__(
+        self,
+        store: ShardedKVStore,
+        source_index: int,
+        target: KVStore,
+        moving_slots: set[int],
+        replace: bool,
+    ) -> None:
+        self.store = store
+        self.source_index = source_index
+        self.target = target
+        self.moving_slots = set(moving_slots)
+        self.replace = replace
+        self.done = False
+        # Begin-time snapshot of the moving key set; values are read
+        # lazily (committed reads) so the copy sees current data and the
+        # delta log covers everything written after this instant.
+        source = store.shards[source_index]
+        self._snapshot_keys: list[int] = [
+            key for key, _ in source.scan() if self._moves(key)
+        ]
+        self._cursor = 0
+        self._delta: set[int] = set()
+        self._moved_keys: set[int] = set()
+        self.keys_copied = 0
+        self.delta_replayed = 0
+
+    def _moves(self, key: int) -> bool:
+        return (shard_hash(key) % len(self.store._slots)) in self.moving_slots
+
+    def note_write(self, key: int) -> None:
+        """Dual-log a source write that falls in the moving range."""
+        if not self.done and self._moves(key):
+            self._delta.add(key)
+
+    @property
+    def remaining(self) -> int:
+        """Snapshot keys not yet copied."""
+        return len(self._snapshot_keys) - self._cursor
+
+    @property
+    def delta_pending(self) -> int:
+        """Dual-logged writes awaiting replay."""
+        return len(self._delta)
+
+    def copy_step(self, batch: int = 1024) -> int:
+        """Copy up to ``batch`` snapshot keys; returns the remaining count.
+
+        Uses the committed-read path on the source (no admissions, no
+        staleness consumption) and the batched write path on the target.
+        Keys deleted since the snapshot read back ``None`` and are
+        skipped — the delta log carries the delete to cutover.
+        """
+        if self.done:
+            raise ConfigError("migration already cut over")
+        chunk = self._snapshot_keys[self._cursor:self._cursor + batch]
+        if chunk:
+            source = self.store.shards[self.source_index]
+            values = source.snapshot_read_many(chunk)
+            put_keys = [key for key, value in zip(chunk, values) if value is not None]
+            put_values = [value for value in values if value is not None]
+            if put_keys:
+                self.target.multi_put(put_keys, put_values)
+                self._moved_keys.update(put_keys)
+            self._cursor += len(chunk)
+            self.keys_copied += len(put_keys)
+        return self.remaining
+
+    def abort(self) -> None:
+        """Cancel the migration and unblock the store.
+
+        The source engine never stopped owning the moving range, so
+        aborting is purely local: the half-filled target is closed and
+        discarded, the dual-logging hook is removed, and the store can
+        start a new migration.  Call this when a ``copy_step`` fails
+        (target disk full, factory misconfiguration) — an abandoned
+        migration would otherwise keep accumulating deltas and block
+        every future migration.
+        """
+        if self.done:
+            raise ConfigError("migration already cut over")
+        self.done = True
+        self.store._migrations.pop(self.source_index, None)
+        self._delta.clear()
+        self.target.close()
+
+    def cutover(self, batch: int = 1024) -> int:
+        """Finish the move atomically; returns the target's engine index.
+
+        Drains the snapshot, replays the delta log until it is empty
+        (each pass re-reads current committed values, so the target ends
+        bit-identical to the source for every moved key), flips the
+        routing slot(s) to the target, and deletes the moved keys from
+        the source (a replaced engine is closed outright instead).
+        """
+        if self.done:
+            raise ConfigError("migration already cut over")
+        while self.remaining:
+            self.copy_step(batch)
+        source = self.store.shards[self.source_index]
+        while self._delta:
+            keys = sorted(self._delta)
+            self._delta.clear()
+            values = source.snapshot_read_many(keys)
+            put_keys, put_values = [], []
+            for key, value in zip(keys, values):
+                if value is None:
+                    self.target.delete(key)
+                    self._moved_keys.discard(key)
+                else:
+                    put_keys.append(key)
+                    put_values.append(value)
+            if put_keys:
+                self.target.multi_put(put_keys, put_values)
+                self._moved_keys.update(put_keys)
+            self.delta_replayed += len(keys)
+        index = self._install()
+        self.done = True
+        del self.store._migrations[self.source_index]
+        return index
+
+    def run(self, batch: int = 1024) -> int:
+        """Copy to completion and cut over (no interleaved load)."""
+        while self.copy_step(batch):
+            pass
+        return self.cutover(batch)
+
+    def _install(self) -> int:
+        store = self.store
+        if self.replace:
+            old = store.shards[self.source_index]
+            store.shards[self.source_index] = self.target
+            old.close()
+            return self.source_index
+        target_index = len(store.shards)
+        store.shards.append(self.target)
+        store._shard_ops.append(0)
+        store.num_shards = len(store.shards)
+        for slot in self.moving_slots:
+            store._slots[slot] = target_index
+        source = store.shards[self.source_index]
+        for key in self._moved_keys:
+            source.delete(key)
+        return target_index

@@ -14,7 +14,9 @@ online service measured against latency SLOs:
   honoring MLKV's staleness bound on reads (with stall-handler refresh
   settlement);
 * :mod:`repro.serve.loadgen` — open-loop (Poisson) and closed-loop
-  (think-time) load over the simulated clock, zipfian/uniform/YCSB keys;
+  (think-time) load over the simulated clock, zipfian/uniform/YCSB keys,
+  plus :class:`ChaosInjector` — scheduled replica kills / slow shards /
+  revivals fired mid-run by the serving loop;
 * :mod:`repro.serve.telemetry` — p50/p95/p99 latency histograms,
   batch-size and queue-depth distributions, throughput-vs-SLO reports;
 * :mod:`repro.serve.loop` — the discrete-event serving loop binding it
@@ -24,7 +26,12 @@ online service measured against latency SLOs:
 
 from repro.serve.batcher import BatchPolicy, CoalescedBatch, MicroBatcher
 from repro.serve.cache import AdmissionCache, TierCounters
-from repro.serve.loadgen import ClosedLoopArrivals, LoadGenerator, OpenLoopArrivals
+from repro.serve.loadgen import (
+    ChaosInjector,
+    ClosedLoopArrivals,
+    LoadGenerator,
+    OpenLoopArrivals,
+)
 from repro.serve.loop import ServingLoop
 from repro.serve.request import Request, RequestQueue
 from repro.serve.server import EmbeddingServer, load_servable
@@ -33,6 +40,7 @@ from repro.serve.telemetry import Distribution, LatencyHistogram, ServingTelemet
 __all__ = [
     "AdmissionCache",
     "BatchPolicy",
+    "ChaosInjector",
     "ClosedLoopArrivals",
     "CoalescedBatch",
     "Distribution",

@@ -137,6 +137,102 @@ class ClosedLoopArrivals:
         return sum(1 for time, _ in self._heap if time <= now)
 
 
+class ChaosInjector:
+    """Scheduled fault injection for the serving path.
+
+    Chaos events are scheduled at simulated instants and fired by the
+    serving loop as its clock passes them, so a failover happens *mid
+    run* with requests in flight — the only honest way to measure it.
+    Each fired event switches the telemetry phase, so one run yields
+    before/after latency percentiles.
+
+    Events duck-type against the store: :meth:`kill_replica_at` and
+    :meth:`revive_replica_at` need the
+    :class:`~repro.kv.replicated.ReplicatedKVStore` fault surface
+    (``fail_replica`` / ``revive_replica``), :meth:`slow_shard` needs
+    ``slow_replica``.  Scheduling an event a store cannot honor raises
+    at fire time, not silently.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[tuple[float, int, str, str, tuple]] = []
+        self._sequence = 0
+        self.fired: list[dict] = []
+
+    def _schedule(self, at: float, label: str, method: str, args: tuple) -> None:
+        if at < 0:
+            raise ConfigError(f"chaos events need non-negative times, got {at}")
+        heapq.heappush(self._events, (at, self._sequence, label, method, args))
+        self._sequence += 1
+
+    def kill_replica_at(self, at: float, shard: int, replica: int) -> "ChaosInjector":
+        """Kill ``replica`` of ``shard`` at simulated second ``at``."""
+        self._schedule(at, f"kill:{shard}/{replica}", "fail_replica", (shard, replica))
+        return self
+
+    def revive_replica_at(
+        self, at: float, shard: int, replica: int, catch_up: bool = True
+    ) -> "ChaosInjector":
+        """Revive a killed replica (hinted catch-up unless disabled)."""
+        self._schedule(
+            at, f"revive:{shard}/{replica}", "revive_replica", (shard, replica, catch_up)
+        )
+        return self
+
+    def slow_shard(
+        self,
+        at: float,
+        shard: int,
+        penalty_seconds: float,
+        replica: int = 0,
+        until: Optional[float] = None,
+    ) -> "ChaosInjector":
+        """Degrade one replica of ``shard`` by ``penalty_seconds`` per read.
+
+        ``until`` schedules the matching recovery; omitted, the shard
+        stays slow for the rest of the run.
+        """
+        self._schedule(
+            at, f"slow:{shard}/{replica}", "slow_replica", (shard, replica, penalty_seconds)
+        )
+        if until is not None:
+            if until <= at:
+                raise ConfigError(f"slow_shard until={until} must be after at={at}")
+            self._schedule(
+                until, f"heal:{shard}/{replica}", "slow_replica", (shard, replica, 0.0)
+            )
+        return self
+
+    def pending(self) -> int:
+        return len(self._events)
+
+    def peek_time(self) -> Optional[float]:
+        return self._events[0][0] if self._events else None
+
+    def fire_due(self, now: float, store, telemetry=None) -> int:
+        """Apply every event scheduled at or before ``now``.
+
+        Returns the number fired.  Each event flips the telemetry phase
+        to ``after:<label>`` so subsequent request latencies are
+        attributed to the post-event regime.
+        """
+        count = 0
+        while self._events and self._events[0][0] <= now:
+            at, _, label, method, args = heapq.heappop(self._events)
+            action = getattr(store, method, None)
+            if action is None:
+                raise ConfigError(
+                    f"chaos event {label!r} needs a store with {method}(); "
+                    f"{type(store).__name__} has none"
+                )
+            action(*args)
+            self.fired.append({"label": label, "scheduled_at": at, "fired_at": now})
+            if telemetry is not None:
+                telemetry.set_phase(f"after:{label}", at=now)
+            count += 1
+        return count
+
+
 class LoadGenerator:
     """Builds arrival sources over a shared key popularity model.
 

@@ -59,6 +59,7 @@ class ServingLoop:
         server: EmbeddingServer,
         policy: Optional[BatchPolicy] = None,
         prefetch_distance: int = 0,
+        chaos=None,
     ) -> None:
         self.server = server
         self.policy = policy or BatchPolicy()
@@ -66,6 +67,11 @@ class ServingLoop:
         self.batcher = MicroBatcher(self.policy)
         self.telemetry = server.telemetry
         self.prefetch_distance = prefetch_distance
+        # Optional ChaosInjector: scheduled faults fired as the clock
+        # passes their instants, between batches (the loop is the only
+        # place simulated time advances, so batch boundaries are the
+        # injection points a real async server's event loop would have).
+        self.chaos = chaos
 
     # ------------------------------------------------------------------
     def run(self, arrivals, max_requests: Optional[int] = None) -> ServingTelemetry:
@@ -83,6 +89,8 @@ class ServingLoop:
                 break
             service_start = self._gather(arrivals, clock, opened_at)
             self._advance_to(clock, service_start)
+            if self.chaos is not None:
+                self.chaos.fire_due(clock.now, self.server.store, self.telemetry)
             depth = len(self.queue) + arrivals.backlog(clock.now)
             if prefetcher is not None:
                 prefetcher.advance(batch_index)
@@ -96,6 +104,11 @@ class ServingLoop:
             self.telemetry.record_batch(batch.size, depth)
             served += batch.size
             batch_index += 1
+        if self.chaos is not None:
+            # Settle events that came due by the final instant; anything
+            # still pending is scheduled beyond the run and must show up
+            # as unfired in the report, not silently vanish.
+            self.chaos.fire_due(clock.now, self.server.store, self.telemetry)
         return self.telemetry
 
     # ------------------------------------------------------------------
@@ -175,4 +188,9 @@ class ServingLoop:
             self.batcher.requests_coalesced / batched if batched else 0.0
         )
         report["queue_high_water"] = self.queue.max_depth_seen
+        if self.chaos is not None:
+            report["chaos_events"] = list(self.chaos.fired)
+            # Events scheduled past the end of the run never fired; a
+            # chaos run that reports none fired measured nothing.
+            report["chaos_events_unfired"] = self.chaos.pending()
         return report

@@ -163,6 +163,9 @@ class ServingTelemetry:
     across shards — when the report is built.
     """
 
+    #: Phase requests record into before any chaos event fires.
+    STEADY_PHASE = "steady"
+
     def __init__(self) -> None:
         self.latency = LatencyHistogram()
         self.batch_sizes = Distribution()
@@ -172,9 +175,26 @@ class ServingTelemetry:
         self.refreshes = 0  # stall-handler write-backs settling the clock
         self.first_arrival: Optional[float] = None
         self.last_completion: Optional[float] = None
+        # Phase segmentation: chaos events (replica kills, slow shards)
+        # switch the current phase, so before/after SLO comparisons fall
+        # out of one run instead of needing two.
+        self.phase = self.STEADY_PHASE
+        self.phase_latency: dict[str, LatencyHistogram] = {}
+        self.events: list[dict] = []  # fired chaos events (label, time)
+
+    def set_phase(self, name: str, at: Optional[float] = None) -> None:
+        """Start attributing request latencies to phase ``name``.
+
+        ``at`` (simulated seconds) is recorded with the transition so
+        reports can show when the phase began.
+        """
+        self.phase = name
+        self.events.append({"phase": name, "at": at})
 
     def record_request(self, arrival_time: float, completed_at: float) -> None:
-        self.latency.record(completed_at - arrival_time)
+        latency = completed_at - arrival_time
+        self.latency.record(latency)
+        self.phase_latency.setdefault(self.phase, LatencyHistogram()).record(latency)
         self.requests_completed += 1
         if self.first_arrival is None or arrival_time < self.first_arrival:
             self.first_arrival = arrival_time
@@ -213,6 +233,16 @@ class ServingTelemetry:
                 self.latency.count > 0 and self.latency.percentile(99) <= target_p99
             ),
         }
+        # Any phase transition (chaos event) makes the breakdown worth
+        # reporting — even when every completed request landed in one
+        # phase (an event firing before the first completion must not
+        # silently drop the block the feature exists to produce).
+        if self.events or len(self.phase_latency) > 1:
+            report["phases"] = {
+                name: histogram.summary()
+                for name, histogram in self.phase_latency.items()
+            }
+            report["events"] = list(self.events)
         if server is not None:
             stats = server.store.stats
             report["tiers"] = server.cache.tiers.ratios()
@@ -222,4 +252,14 @@ class ServingTelemetry:
                 "misses": stats.misses,
                 "hit_ratio": stats.hit_ratio(),
             }
+            extra = stats.extra
+            if "failovers" in extra:
+                report["replication"] = {
+                    "failovers": extra["failovers"],
+                    "catchup_keys": extra["catchup_keys"],
+                    "max_replica_lag": max(
+                        (lag for lags in extra["replica_lag"] for lag in lags),
+                        default=0,
+                    ),
+                }
         return report

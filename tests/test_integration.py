@@ -7,7 +7,6 @@ hurts quality, bounds restore it, lookahead cuts blocking reads, and the
 backend ordering of Figure 7 holds.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench import build_stack, run_dlrm, run_gnn, run_kge

@@ -1,0 +1,550 @@
+"""ReplicatedKVStore + live shard migration: the availability layer.
+
+Covers the replica version clock, write fan-out and read routing,
+failover with hinted catch-up (and the hint-overflow full resync),
+quorum reads, divergence-bound admission, chaos injection, and the
+split/migrate copy-then-cutover property — the latter against all four
+engines under a live interleaved write load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mlkv import MLKV
+from repro.device import ReplicaVersionClock, SimClock, SSDModel
+from repro.errors import ConfigError, StorageError
+from repro.kv import ReplicatedKVStore, ShardedKVStore
+from repro.kv.btree import BTreeKV
+from repro.kv.faster import FasterKV
+from repro.kv.lsm import LsmKV
+
+ENGINES = ("faster", "mlkv", "lsm", "btree")
+
+
+def make_engine(kind: str, directory: str, ssd=None, memory_budget_bytes: int = 1 << 18):
+    ssd = ssd or SSDModel(SimClock())
+    cls = {"faster": FasterKV, "mlkv": MLKV, "lsm": LsmKV, "btree": BTreeKV}[kind]
+    return cls(directory, ssd=ssd, memory_budget_bytes=memory_budget_bytes)
+
+
+@pytest.fixture
+def replicated(tmp_path, ssd):
+    store = ReplicatedKVStore(
+        lambda shard, replica: FasterKV(
+            str(tmp_path / f"s{shard}r{replica}"), ssd=ssd
+        ),
+        num_shards=2,
+        replication=2,
+    )
+    yield store
+    store.close()
+
+
+class TestReplicaVersionClock:
+    def test_lag_counts_unacked_writes(self):
+        clock = ReplicaVersionClock(3)
+        clock.advance(5)
+        clock.ack(0)
+        clock.ack(1, version=3)
+        assert clock.lag(0) == 0
+        assert clock.lag(1) == 2
+        assert clock.lag(2) == 5
+        assert clock.max_lag() == 5
+        assert clock.in_bound(1, 2) and not clock.in_bound(1, 1)
+
+    def test_apply_preserves_a_lagging_replicas_gap(self):
+        clock = ReplicaVersionClock(2)
+        clock.advance(3)
+        clock.ack(0)  # replica 0 converged; replica 1 missed 3 writes
+        clock.advance()
+        clock.apply(0)
+        clock.apply(1)
+        assert clock.lag(0) == 0  # converged stays converged
+        assert clock.lag(1) == 3  # applying new writes un-misses nothing
+        clock.ack(1)  # only a real catch-up closes the gap
+        assert clock.lag(1) == 0
+        with pytest.raises(ValueError):
+            clock.apply(0, -1)
+
+    def test_acks_never_regress(self):
+        clock = ReplicaVersionClock(1)
+        clock.advance(4)
+        clock.ack(0)
+        clock.ack(0, version=1)
+        assert clock.lag(0) == 0
+
+    def test_ack_clamps_to_the_group_version(self):
+        """An ack above the group version (a caller bug) must not create
+        negative lag — that would make every read admissible forever."""
+        clock = ReplicaVersionClock(2)
+        clock.advance(5)
+        clock.ack(0, version=999)
+        assert clock.applied[0] == 5
+        assert clock.lag(0) == 0
+        assert clock.max_lag() == 5  # replica 1 still honestly behind
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ReplicaVersionClock(0)
+        clock = ReplicaVersionClock(1)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+
+class TestFanOutAndRouting:
+    def test_writes_reach_every_replica(self, replicated):
+        keys = list(range(100))
+        replicated.multi_put(keys, [f"v{key}".encode() for key in keys])
+        for shard, group in enumerate(replicated.groups):
+            for replica in group.replicas:
+                for key in keys:
+                    if replicated.shard_of(key) == shard:
+                        assert replica.get(key) == f"v{key}".encode()
+
+    def test_reads_preserve_order_and_duplicates(self, replicated):
+        replicated.multi_put([3, 7, 11], [b"three", b"seven", b"eleven"])
+        assert replicated.multi_get([7, 3, 7, 999, 11]) == [
+            b"seven", b"three", b"seven", None, b"eleven",
+        ]
+
+    def test_reads_round_robin_across_replicas(self, replicated):
+        replicated.put(1, b"x")
+        group = replicated.groups[replicated.shard_of(1)]
+        seen = {group.pick_reader(0) for _ in range(4)}
+        assert seen == {0, 1}
+
+    def test_delete_fans_out(self, replicated):
+        replicated.put(5, b"x")
+        assert replicated.delete(5) is True
+        for group in replicated.groups:
+            for replica in group.replicas:
+                assert replica.get(5) is None
+
+    def test_rmw_applies_to_all_replicas(self, replicated):
+        replicated.put(9, b"a")
+        assert replicated.rmw(9, lambda old: (old or b"") + b"b") == b"ab"
+        shard = replicated.shard_of(9)
+        for replica in replicated.groups[shard].replicas:
+            assert replica.get(9) == b"ab"
+
+    def test_rmw_reads_the_freshest_replica_not_a_stale_admissible_one(
+        self, replicated
+    ):
+        """A bounded-stale read must never feed a write-back: rmw over a
+        lagging-but-admissible replica would fan its old value out over
+        the fresher copies (a lost update)."""
+        replicated.put(9, b"v1")
+        shard = replicated.shard_of(9)
+        replicated.fail_replica(shard, 0)
+        replicated.put(9, b"v2")
+        replicated.revive_replica(shard, 0, catch_up=False)  # holds v1, lags
+        replicated.divergence_bound = 100  # read routing would admit it
+        for _ in range(4):  # every routing choice must still see v2
+            assert replicated.rmw(9, lambda old: old) == b"v2"
+
+    def test_invalid_config_rejected(self, tmp_path, ssd):
+        factory = lambda s, r: FasterKV(str(tmp_path / f"x{s}{r}"), ssd=ssd)
+        with pytest.raises(ConfigError):
+            ReplicatedKVStore(factory, num_shards=0)
+        with pytest.raises(ConfigError):
+            ReplicatedKVStore(factory, num_shards=1, replication=0)
+        with pytest.raises(ConfigError):
+            ReplicatedKVStore(factory, num_shards=1, read_policy="most")
+        with pytest.raises(ConfigError):
+            ReplicatedKVStore(factory, num_shards=1, divergence_bound=-1)
+
+
+class TestFailoverAndCatchUp:
+    def test_killed_replica_is_routed_around(self, replicated):
+        keys = list(range(50))
+        replicated.multi_put(keys, [b"v"] * 50)
+        replicated.fail_replica(0, 0)
+        assert replicated.multi_get(keys) == [b"v"] * 50
+        group = replicated.groups[0]
+        assert group.failovers > 0
+
+    def test_cannot_kill_last_replica(self, replicated):
+        replicated.fail_replica(0, 0)
+        with pytest.raises(StorageError):
+            replicated.fail_replica(0, 1)
+
+    def test_hinted_catch_up_replays_missed_writes(self, replicated):
+        keys = list(range(60))
+        replicated.multi_put(keys, [b"old"] * 60)
+        replicated.fail_replica(0, 0)
+        replicated.multi_put(keys, [b"new"] * 60)
+        replicated.delete(keys[0])
+        dead = replicated.groups[0].replicas[0]
+        shard0_keys = [key for key in keys if replicated.shard_of(key) == 0]
+        assert any(dead.get(key) == b"old" for key in shard0_keys)
+        assert replicated.replica_lag(0, 0) > 0
+        replicated.revive_replica(0, 0)
+        assert replicated.replica_lag(0, 0) == 0
+        for key in shard0_keys:
+            expected = None if key == keys[0] else b"new"
+            assert dead.get(key) == expected
+
+    def test_revive_without_catch_up_leaves_lagging_replica_unread(self, replicated):
+        keys = [key for key in range(200) if replicated.shard_of(key) == 0][:20]
+        replicated.multi_put(keys, [b"old"] * len(keys))
+        replicated.fail_replica(0, 0)
+        replicated.multi_put(keys, [b"new"] * len(keys))
+        replicated.revive_replica(0, 0, catch_up=False)
+        lag = replicated.replica_lag(0, 0)
+        assert lag == len(keys)
+        # divergence_bound=0: the lagging replica must not serve reads.
+        for _ in range(6):
+            assert replicated.get(keys[0]) == b"new"
+        # New writes keep the gap: applying fresh writes does not
+        # un-miss the hinted ones, so the replica stays excluded.
+        fresh = [key for key in range(200, 400) if replicated.shard_of(key) == 0][:5]
+        replicated.multi_put(fresh, [b"post"] * len(fresh))
+        assert replicated.replica_lag(0, 0) == lag
+        for _ in range(6):
+            assert replicated.get(keys[0]) == b"new"
+        # A loose bound would admit it again (the staleness contract).
+        replicated.divergence_bound = lag
+        values = {replicated.groups[0].pick_reader(lag) for _ in range(4)}
+        assert values == {0, 1}
+        replicated.divergence_bound = 0
+        replicated.catch_up_replica(0, 0)
+        assert replicated.replica_lag(0, 0) == 0
+        assert replicated.groups[0].replicas[0].get(keys[0]) == b"new"
+
+    def test_cannot_fail_the_only_caught_up_replica(self, replicated):
+        """The group must always keep one complete (lag 0) live replica:
+        the scalar clock cannot tell *which* writes a lagging replica
+        missed, so losing the last complete copy would make catch-up
+        unsound (disjoint gaps cannot repair each other)."""
+        replicated.put(1, b"x")
+        shard = replicated.shard_of(1)
+        replicated.fail_replica(shard, 0)
+        replicated.put(1, b"y")
+        replicated.revive_replica(shard, 0, catch_up=False)  # lags
+        with pytest.raises(StorageError):
+            replicated.fail_replica(shard, 1)  # the only complete copy
+        # After catching up, the same kill is legal.
+        replicated.catch_up_replica(shard, 0)
+        replicated.fail_replica(shard, 1)
+        assert replicated.get(1) == b"y"
+
+    def test_disjoint_gaps_cannot_lose_acknowledged_writes(self, replicated):
+        """Regression: fail 0 → write v1 → revive lagging → fail 1 →
+        write v2 used to leave two replicas with *disjoint* gaps and let
+        catch-up replay v1 over v2 while acking convergence.  The fail
+        invariant now refuses the second kill outright."""
+        key = 42
+        shard = replicated.shard_of(key)
+        replicated.fail_replica(shard, 0)
+        replicated.put(key, b"v1")
+        replicated.revive_replica(shard, 0, catch_up=False)
+        with pytest.raises(StorageError):
+            replicated.fail_replica(shard, 1)
+        replicated.put(key, b"v2")  # still fanned to the complete replica
+        replicated.catch_up_replica(shard, 0)
+        for group_replica in replicated.groups[shard].replicas:
+            assert group_replica.get(key) == b"v2"
+
+    def test_hint_overflow_triggers_full_resync(self, tmp_path, ssd):
+        store = ReplicatedKVStore(
+            lambda shard, replica: FasterKV(
+                str(tmp_path / f"o{shard}r{replica}"), ssd=ssd
+            ),
+            num_shards=1,
+            replication=2,
+            max_hints=10,
+        )
+        keys = list(range(100))
+        store.multi_put(keys, [b"seed"] * 100)
+        store.fail_replica(0, 0)
+        store.multi_put(keys, [b"fresh"] * 100)  # >> max_hints
+        store.delete(99)
+        group = store.groups[0]
+        assert group.hints_outstanding(0) == -1  # overflowed
+        store.revive_replica(0, 0)
+        assert group.resyncs == 1
+        dead = group.replicas[0]
+        assert all(dead.get(key) == b"fresh" for key in keys[:99])
+        assert dead.get(99) is None  # resync drops deleted records
+        store.close()
+
+
+class TestQuorum:
+    @pytest.fixture
+    def quorum(self, tmp_path, ssd):
+        store = ReplicatedKVStore(
+            lambda shard, replica: FasterKV(
+                str(tmp_path / f"q{shard}r{replica}"), ssd=ssd
+            ),
+            num_shards=1,
+            replication=3,
+            read_policy="quorum",
+        )
+        yield store
+        store.close()
+
+    def test_quorum_reads_survive_minority_failure(self, quorum):
+        quorum.multi_put([1, 2, 3], [b"a", b"b", b"c"])
+        quorum.fail_replica(0, 0)
+        assert quorum.multi_get([1, 2, 3]) == [b"a", b"b", b"c"]
+        assert quorum.get(2) == b"b"
+
+    def test_quorum_fails_without_majority(self, quorum):
+        quorum.put(1, b"x")
+        quorum.fail_replica(0, 0)
+        quorum.fail_replica(0, 1)
+        with pytest.raises(StorageError):
+            quorum.get(1)
+
+    def test_quorum_answers_from_freshest(self, quorum):
+        quorum.put(1, b"v1")
+        quorum.fail_replica(0, 2)
+        quorum.put(1, b"v2")
+        quorum.revive_replica(0, 2, catch_up=False)  # lags behind
+        # Freshest-first ranking must answer v2 even though replica 2
+        # (holding v1) is live and could be part of the majority.
+        assert quorum.get(1) == b"v2"
+
+    def test_quorum_counts_short_group_reads_as_failovers(self, quorum):
+        quorum.put(1, b"x")
+        assert quorum.groups[0].failovers == 0
+        quorum.fail_replica(0, 0)
+        quorum.get(1)
+        assert quorum.groups[0].failovers > 0
+
+
+class TestServingSurface:
+    def test_shared_clock_and_ssd_exposed(self, tmp_path, ssd):
+        store = ReplicatedKVStore(
+            lambda shard, replica: FasterKV(
+                str(tmp_path / f"c{shard}r{replica}"), ssd=ssd
+            ),
+            num_shards=2,
+            replication=2,
+        )
+        assert store.clock is ssd.clock
+        assert store.ssd is ssd
+        store.close()
+
+    def test_scan_yields_each_record_once(self, replicated):
+        keys = list(range(80))
+        replicated.multi_put(keys, [f"v{key}".encode() for key in keys])
+        scanned = dict(replicated.scan())
+        assert scanned == {key: f"v{key}".encode() for key in keys}
+        assert len(replicated) == 80
+
+    def test_stats_track_replication_health(self, replicated):
+        replicated.multi_put(list(range(40)), [b"v"] * 40)
+        replicated.fail_replica(0, 1)
+        stats = replicated.stats
+        assert stats.extra["shard_ops"][0] > 0
+        assert len(stats.extra["replica_lag"]) == 2
+        assert stats.extra["hints_outstanding"][0][1] >= 0
+
+    def test_freeze_propagates(self, replicated):
+        replicated.put(1, b"x")
+        replicated.freeze()
+        with pytest.raises(StorageError):
+            replicated.put(2, b"y")
+        assert replicated.get(1) == b"x"
+
+    def test_staleness_bound_exposed_for_mlkv_children(self, tmp_path, ssd):
+        store = ReplicatedKVStore(
+            lambda shard, replica: MLKV(
+                str(tmp_path / f"m{shard}r{replica}"), ssd=ssd, staleness_bound=4
+            ),
+            num_shards=1,
+            replication=2,
+        )
+        assert store.staleness_bound == 4
+        store.close()
+
+    def test_slow_replica_is_avoided(self, replicated):
+        replicated.put(1, b"x")
+        shard = replicated.shard_of(1)
+        replicated.slow_replica(shard, 0, 5e-3)
+        group = replicated.groups[shard]
+        for _ in range(4):
+            assert group.pick_reader(0) == 1
+        assert group.failovers > 0
+        # Both slowed: least penalty wins and the charge hits the clock.
+        replicated.slow_replica(shard, 1, 10e-3)
+        before = replicated.clock.now
+        assert replicated.get(1) == b"x"
+        assert replicated.clock.now - before >= 5e-3
+
+
+class TestLiveSplit:
+    """split_shard / migrate_shard: copy-then-cutover, no lost mappings."""
+
+    def _make(self, kind, tmp_path, counter=[0]):
+        def factory(index):
+            counter[0] += 1
+            return make_engine(kind, str(tmp_path / f"{kind}{counter[0]}-{index}"))
+        return factory
+
+    @pytest.mark.parametrize("kind", ENGINES)
+    def test_split_under_live_writes_preserves_every_mapping(self, kind, tmp_path):
+        factory = self._make(kind, tmp_path)
+        store = ShardedKVStore(factory, 2)
+        rng = np.random.default_rng(5)
+        expected = {}
+        keys = list(range(600))
+        for key in keys:
+            expected[key] = f"v{key}".encode()
+        store.multi_put(keys, [expected[key] for key in keys])
+
+        migration = store.begin_split(0, factory)
+        step = 0
+        while migration.copy_step(64):
+            # Interleave puts, overwrites and deletes with the copy.
+            write_keys = rng.integers(0, 700, size=16).tolist()
+            values = [f"w{key}.{step}".encode() for key in write_keys]
+            store.multi_put(write_keys, values)
+            for key, value in zip(write_keys, values):
+                expected[key] = value
+            victim = int(rng.integers(0, 700))
+            store.delete(victim)
+            expected.pop(victim, None)
+            step += 1
+        new_index = migration.cutover()
+
+        assert new_index == 2 and len(store.shards) == 3
+        all_keys = sorted(set(range(700)))
+        got = store.multi_get(all_keys)
+        for key, value in zip(all_keys, got):
+            assert value == expected.get(key), (kind, key)
+        # Each key is held by exactly its owning engine.
+        for key in list(expected)[::37]:
+            holders = [
+                index for index, child in enumerate(store.shards)
+                if child.get(key) is not None
+            ]
+            assert holders == [store.shard_of(key)]
+        store.close()
+
+    def test_split_moves_only_the_split_slot(self, tmp_path):
+        factory = self._make("faster", tmp_path)
+        store = ShardedKVStore(factory, 2)
+        keys = list(range(400))
+        store.multi_put(keys, [b"v"] * 400)
+        owners_before = {key: store.shard_of(key) for key in keys}
+        store.split_shard(0, factory)
+        moved = [key for key in keys if store.shard_of(key) != owners_before[key]]
+        assert moved, "a split must move some keys"
+        # Only keys previously owned by engine 0 may move, all to engine 2.
+        for key in moved:
+            assert owners_before[key] == 0
+            assert store.shard_of(key) == 2
+        store.close()
+
+    def test_repeated_splits_rescale_n_to_m(self, tmp_path):
+        factory = self._make("faster", tmp_path)
+        store = ShardedKVStore(factory, 2)
+        keys = list(range(500))
+        store.multi_put(keys, [f"k{key}".encode() for key in keys])
+        for source in (0, 1, 2):
+            store.split_shard(source, factory)
+        assert len(store.shards) == 5
+        assert store.multi_get(keys) == [f"k{key}".encode() for key in keys]
+        assert len(store) == 500
+        store.close()
+
+    def test_migrate_shard_replaces_engine_in_place(self, tmp_path):
+        factory = self._make("faster", tmp_path)
+        store = ShardedKVStore(factory, 2)
+        keys = list(range(300))
+        store.multi_put(keys, [b"m"] * 300)
+        old_engine = store.shards[1]
+        migration = store.begin_migrate(1, factory)
+        store.put(keys[0], b"live")  # interleaved write
+        migration.run()
+        assert store.shards[1] is not old_engine
+        assert len(store.shards) == 2
+        expected = [b"live" if key == keys[0] else b"m" for key in keys]
+        assert store.multi_get(keys) == expected
+        store.close()
+
+    def test_concurrent_migrations_rejected(self, tmp_path):
+        factory = self._make("faster", tmp_path)
+        store = ShardedKVStore(factory, 2)
+        store.begin_split(0, factory)
+        with pytest.raises(ConfigError):
+            store.begin_split(1, factory)
+        with pytest.raises(ConfigError):
+            store.begin_migrate(0, factory)
+        store.close()
+
+    def test_abort_unblocks_the_store_and_keeps_it_intact(self, tmp_path):
+        factory = self._make("faster", tmp_path)
+        store = ShardedKVStore(factory, 2)
+        keys = list(range(200))
+        store.multi_put(keys, [b"a"] * 200)
+        migration = store.begin_split(0, factory)
+        migration.copy_step(32)  # half-done
+        store.put(keys[0], b"live")  # dual-logged delta
+        migration.abort()
+        # The source never lost ownership: all data intact, and a new
+        # migration can start (the in-flight slot is cleared).
+        expected = [b"live" if key == keys[0] else b"a" for key in keys]
+        assert store.multi_get(keys) == expected
+        with pytest.raises(ConfigError):
+            migration.cutover()
+        second = store.begin_split(0, factory)
+        assert second.run() == 2
+        assert store.multi_get(keys) == expected
+        store.close()
+
+    def test_cutover_is_terminal(self, tmp_path):
+        factory = self._make("faster", tmp_path)
+        store = ShardedKVStore(factory, 2)
+        store.multi_put(list(range(50)), [b"x"] * 50)
+        migration = store.begin_split(0, factory)
+        migration.cutover()
+        with pytest.raises(ConfigError):
+            migration.cutover()
+        with pytest.raises(ConfigError):
+            migration.copy_step()
+        store.close()
+
+    def test_split_slot_table_survives_checkpoint_restore(self, tmp_path):
+        base = tmp_path / "ckpt"
+        base.mkdir()
+
+        def factory(index):
+            return make_engine("faster", str(base / f"shard{index}"))
+
+        store = ShardedKVStore(factory, 2, directory=str(base))
+        keys = list(range(200))
+        store.multi_put(keys, [f"s{key}".encode() for key in keys])
+        store.split_shard(0, factory)
+        slots = list(store._slots)
+        store.checkpoint()
+        store.close()
+
+        restored = ShardedKVStore.restore(str(base))
+        assert restored._slots == slots
+        assert restored.multi_get(keys) == [f"s{key}".encode() for key in keys]
+        restored.close()
+
+    def test_replicated_store_of_split_capable_groups(self, tmp_path, ssd):
+        """Replication composes over sharded children: each 'replica' can
+        itself be a sharded store, and fan-out still preserves data."""
+        def factory(shard, replica):
+            return ShardedKVStore(
+                lambda index: FasterKV(
+                    str(tmp_path / f"n{shard}r{replica}e{index}"), ssd=ssd
+                ),
+                num_shards=2,
+            )
+
+        store = ReplicatedKVStore(factory, num_shards=1, replication=2)
+        keys = list(range(120))
+        store.multi_put(keys, [b"deep"] * 120)
+        store.fail_replica(0, 0)
+        assert store.multi_get(keys) == [b"deep"] * 120
+        store.revive_replica(0, 0)
+        assert store.replica_lag(0, 0) == 0
+        store.close()
