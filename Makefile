@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-recovery serve-smoke bench bench-smoke bench-gate lint
+.PHONY: test test-recovery test-dist serve-smoke bench bench-smoke bench-gate lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -13,6 +13,12 @@ test:
 # attributable to recovery code and not the wider test run.
 test-recovery:
 	$(PYTHON) -m pytest tests/test_recovery.py -q
+
+# Parameter-server distributed training on its own: convergence
+# equivalence, cross-worker staleness, and worker/replica fault
+# injection — isolated so a distributed flake is attributable.
+test-dist:
+	$(PYTHON) -m pytest tests/test_distributed.py tests/test_partition_ddp.py -q
 
 # Boot an EmbeddingServer from a tiny cloud checkpoint and drive 1k
 # requests through the coalescing load generator; asserts score parity
@@ -37,7 +43,7 @@ bench-gate:
 	rm -rf results/baselines && mkdir -p results/baselines
 	cp BENCH_*.json results/baselines/
 	touch results/baselines/.gate-start
-	$(PYTHON) -m pytest benchmarks/test_sharded_batched.py benchmarks/test_serving.py benchmarks/test_replicated.py -q
+	$(PYTHON) -m pytest benchmarks/test_sharded_batched.py benchmarks/test_serving.py benchmarks/test_replicated.py benchmarks/test_dist_scaling.py -q
 	$(PYTHON) benchmarks/compare.py --baseline results/baselines --fresh . --tolerance 0.30 --since results/baselines/.gate-start
 
 # Prefer ruff (fast, wider net) when present; fall back to pyflakes,

@@ -1,0 +1,144 @@
+"""Parameter-server scaling: time-to-target-AUC vs worker count.
+
+The distributed analogue of the paper's figure-11(a) story: the same
+DLRM workload trained by 1/2/4/8 bounded-async workers over one
+parameter server backed by the KV store.  Workers compute on private
+timelines (their GPU time overlaps); pulls and pushes serialize on the
+shared server clock, so scaling is sub-linear exactly where a real PS
+is — server-side apply becomes the bottleneck.
+
+Reported per fleet size:
+
+* ``tta_wN_seconds`` — simulated wall-clock until the periodic offline
+  eval first reaches the target AUC (lower is better; the gate's
+  direction inference keys on ``seconds``).
+* ``throughput`` — trained samples per simulated second (higher is
+  better), alongside the analytic ``DDPReference`` line for the same
+  worker count as an external sanity reference.
+
+``speedup_2w`` (1-worker TTA over 2-worker TTA) is the headline number:
+the acceptance bar is that two workers beat one to the target.
+
+Everything lands in ``BENCH_distributed_training.json`` for
+``make bench-gate``.
+"""
+
+import tempfile
+
+import numpy as np
+
+from _util import report
+from emit import emit
+
+from repro.core.embedding import EmbeddingTables
+from repro.data import CTRDataset
+from repro.device import GPUModel, SimClock, SSDModel
+from repro.kv.faster import FasterKV
+from repro.models import FFNN
+from repro.train import (
+    DDPReference,
+    DistConfig,
+    DistributedTrainer,
+    DLRMTrainer,
+    TrainerConfig,
+)
+
+_DIM = 8
+_BATCHES = 40
+_BATCH_SIZE = 64
+_GPU_FLOPS = 5e9  # throttled so compute dominates and workers can overlap
+_WORKER_COUNTS = (1, 2, 4, 8)
+_CTR = CTRDataset(num_fields=4, field_cardinality=500, seed=3)
+_CONFIG = TrainerConfig(batch_size=_BATCH_SIZE, seed=0, eval_every=4)
+
+
+def _train(workers: int):
+    clock = SimClock()
+    ssd = SSDModel(clock)
+    work = tempfile.mkdtemp(prefix=f"dist-bench-w{workers}-")
+    store = FasterKV(f"{work}/faster", ssd=ssd)
+    tables = EmbeddingTables(store, _DIM, cache_entries=0)
+    gpu = GPUModel(clock, flops_per_second=_GPU_FLOPS)
+    rng = np.random.default_rng(_CONFIG.seed)
+    network = FFNN(
+        num_dense=_CTR.num_dense, num_fields=_CTR.num_fields,
+        emb_dim=_DIM, rng=rng,
+    )
+    trainer = DistributedTrainer(
+        tables, network, gpu, _CONFIG,
+        DistConfig(num_workers=workers, mode="bounded", staleness_bound=2),
+        lambda t, n, g, c: DLRMTrainer(t, n, g, c, _CTR),
+    )
+    result = trainer.run(_CTR.batches(_BATCHES, _BATCH_SIZE))
+    store.close()
+    return result
+
+
+def _time_to_target(history, target: float, fallback: float) -> float:
+    for wall, metric in history:
+        if metric >= target:
+            return wall
+    return fallback
+
+
+def test_time_to_target_auc_scaling(benchmark):
+    """1/2/4/8 bounded-async workers; 2 workers must beat 1 to target."""
+
+    def sweep():
+        return {workers: _train(workers) for workers in _WORKER_COUNTS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Target every fleet provably reaches: just under the weakest final AUC.
+    target = 0.98 * min(result.final_metric for result in results.values())
+    samples = _BATCHES * _BATCH_SIZE
+
+    metrics, rows = {}, []
+    for workers, result in results.items():
+        tta = _time_to_target(result.history, target, result.sim_seconds)
+        throughput = samples / result.sim_seconds
+        metrics[f"tta_w{workers}_seconds"] = tta
+        metrics[f"w{workers}_throughput"] = throughput
+        rows.append({
+            "Workers": workers,
+            "TTA (sim s)": round(tta, 5),
+            "Wall (sim s)": round(result.sim_seconds, 5),
+            "Samples/s": int(throughput),
+            "Final AUC": round(result.final_metric, 4),
+            "Stalls": result.stall_events,
+            "DDP ref (samples/s)": int(
+                DDPReference(workers=max(workers, 2)).throughput(_BATCH_SIZE)
+            ),
+        })
+    metrics["speedup_2w"] = (
+        metrics["tta_w1_seconds"] / metrics["tta_w2_seconds"]
+    )
+
+    report(
+        "distributed_training", rows,
+        note=f"DLRM {_BATCHES}x{_BATCH_SIZE}, bounded staleness 2, "
+             f"target AUC {target:.4f}; DDP line is the analytic "
+             f"all-reduce reference, not the PS simulation",
+    )
+    emit(
+        "distributed_training",
+        metrics=metrics,
+        rows=rows,
+        meta={
+            "workload": f"CTR {_CTR.num_fields}x{_CTR.field_cardinality} keys, "
+                        f"{_BATCHES} batches of {_BATCH_SIZE}",
+            "mode": "bounded",
+            "staleness_bound": 2,
+            "target_auc": target,
+            "gpu_flops": _GPU_FLOPS,
+        },
+    )
+
+    for workers, result in results.items():
+        assert len(result.losses) == _BATCHES, (
+            f"w={workers} applied {len(result.losses)} of {_BATCHES} batches"
+        )
+    assert metrics["tta_w2_seconds"] < metrics["tta_w1_seconds"], (
+        f"2 workers did not beat 1 to AUC {target:.4f}: "
+        f"{metrics['tta_w2_seconds']:.5f}s vs {metrics['tta_w1_seconds']:.5f}s"
+    )
+    assert metrics["speedup_2w"] > 1.0

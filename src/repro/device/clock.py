@@ -125,8 +125,69 @@ class SimClock:
         self._busy.clear()
         self._background.clear()
 
+    def note_busy(self, seconds: float, component: str = "cpu") -> None:
+        """Record busy time without advancing this clock or queueing backlog.
+
+        Used by :class:`WorkerClockView`: a worker's compute advances the
+        worker's own timeline, but its busy seconds still belong in the
+        shared per-component table so energy and breakdown reporting see
+        every device's work exactly once.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot note {seconds!r} busy seconds")
+        self._busy[component] = self._busy.get(component, 0.0) + seconds
+
     def __repr__(self) -> str:
         return f"SimClock(now={self._now:.6f}, busy={self._busy})"
+
+
+class WorkerClockView:
+    """A per-worker timeline layered over a shared :class:`SimClock`.
+
+    Distributed training simulates N workers computing *in parallel*
+    against one parameter server.  One global clock cannot express that:
+    serializing every worker's compute on it would make N workers exactly
+    as slow as one.  Instead each worker advances its own local time
+    (compute overlaps freely across views), while interactions with the
+    shared server serialize on the base clock — the engine fast-forwards
+    the base clock to ``max(server.now, worker.now)`` before a pull/push
+    and hands the post-operation server time back via :meth:`wait_until`.
+
+    Busy-time accounting is *not* per-view: every charge lands in the
+    base clock's component table (via :meth:`SimClock.note_busy`), so a
+    run's energy/breakdown totals count all workers' devices once each.
+    The run's wall-clock is ``max`` over all views and the base clock.
+    """
+
+    def __init__(self, base: SimClock, name: str = "worker") -> None:
+        self.base = base
+        self.name = name
+        self._now = base.now
+        self.waited_seconds = 0.0
+
+    @property
+    def now(self) -> float:
+        """This worker's local simulated time."""
+        return self._now
+
+    def advance(self, seconds: float, component: str = "cpu") -> None:
+        """Blocking charge on this worker's private timeline."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds!r} seconds")
+        self._now += seconds
+        self.base.note_busy(seconds, component=component)
+
+    def wait_until(self, when: float) -> float:
+        """Block until shared time ``when`` (barrier, staleness stall, or a
+        server response); returns the seconds waited.  Waiting is idle —
+        it advances local time without charging any component busy."""
+        waited = max(0.0, when - self._now)
+        self._now = max(self._now, when)
+        self.waited_seconds += waited
+        return waited
+
+    def __repr__(self) -> str:
+        return f"WorkerClockView({self.name!r}, now={self._now:.6f})"
 
 
 class ReplicaVersionClock:

@@ -526,6 +526,37 @@ class ReplicatedKVStore(KVStore):
                 [values[position] for position in positions],
             )
 
+    def multi_rmw(self, keys, update: Callable[[list, list], list]) -> list:
+        """Batched :meth:`rmw`: the parameter-server apply hook.
+
+        Same freshness rule as the scalar path — the read half always
+        uses a fully caught-up (lag-0) replica per group, because a
+        bounded-stale read folded into a write-back would fan the stale
+        value out over fresher copies (a lost update).  ``update`` runs
+        once per shard sub-batch; writes fan out through the group
+        (hinted against dead replicas), so a replica killed mid-push
+        loses nothing: the survivor takes the delta and the revive
+        replays it.
+        """
+        self._check_writable()
+        keys = self._normalize_keys(keys)
+        results: list = [None] * len(keys)
+        for shard, positions in self._partition_keys(keys).items():
+            self._shard_ops[shard] += len(positions)
+            group = self.groups[shard]
+            donor = group.replicas[group._complete_peer(exclude=-1)]
+            sub_keys = [keys[position] for position in positions]
+            new_values = list(update(sub_keys, donor.snapshot_read_many(sub_keys)))
+            if len(new_values) != len(sub_keys):
+                raise ValueError(
+                    f"multi_rmw update returned {len(new_values)} values "
+                    f"for {len(sub_keys)} keys"
+                )
+            group.fanout_multi_put(sub_keys, new_values)
+            for position, value in zip(positions, new_values):
+                results[position] = value
+        return results
+
     # ------------------------------------------------------------------
     # fault injection & recovery (the chaos surface)
     # ------------------------------------------------------------------

@@ -158,6 +158,32 @@ class RowAdagrad:
             out[i] = rows[i] - self.lr * grads[i] / (np.sqrt(acc) + self.eps)
         return out
 
+    def delta_rows(self, keys: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        """Row *deltas* for ``grads``: ``new_row = row + delta``.
+
+        The Adagrad update never reads the row value, so its delta form
+        is exact: a parameter server can keep the accumulator state,
+        turn pushed gradients into deltas, and apply them through a
+        read-modify-write without ever shipping rows back from workers —
+        and ``rows + delta_rows(...)`` is bit-identical to
+        ``updated_rows(...)`` (IEEE ``a + (-x) == a - x``).  Like
+        :meth:`updated_rows`, this *advances* the accumulator state;
+        call exactly one of the two per gradient batch.
+        """
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+        grads = np.asarray(grads, dtype=np.float32).reshape(len(keys), -1)
+        if not self.adaptive:
+            return -(self.lr * grads)
+        out = np.empty_like(grads)
+        for i, key in enumerate(keys):
+            acc = self._accumulators.get(int(key))
+            if acc is None:
+                acc = np.zeros(grads.shape[1], dtype=np.float32)
+                self._accumulators[int(key)] = acc
+            acc += grads[i] * grads[i]
+            out[i] = -(self.lr * grads[i] / (np.sqrt(acc) + self.eps))
+        return out
+
     def state_bytes(self) -> int:
         """Size of the in-memory accumulator state (for DESIGN notes)."""
         return sum(acc.nbytes for acc in self._accumulators.values())
@@ -174,4 +200,93 @@ class RowAdagrad:
         self._accumulators = {
             int(key): np.asarray(acc, dtype=np.float32).copy()
             for key, acc in state["accumulators"].items()
+        }
+
+
+class RowAdam:
+    """Adam over sparse embedding rows, in delta form.
+
+    Per-key first/second moments and step counts live in host memory
+    (parameter-server side), mirroring :class:`RowAdagrad`.  Each key
+    keeps its *own* Adam timestep — the standard sparse-Adam choice, so
+    a rarely touched row's bias correction matches how often it actually
+    received gradients.
+
+    Like Adagrad, the Adam update never reads the row value, so the
+    delta form is exact.  Unlike Adagrad, interleaved delta batches for
+    the *same* key do not commute beyond float rounding: the moments are
+    exponential moving averages, so gradient order genuinely matters —
+    the divergence is bounded by ``O(lr · |g1 − g2|)`` per overlapping
+    push (tested in ``tests/test_distributed.py``).  Batches touching
+    disjoint keys commute bit-exactly.
+    """
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        # key -> [m, v, t]; m/v are float32 rows, t the per-key step count.
+        self._state: dict[int, list] = {}
+
+    def delta_rows(self, keys: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        """Row deltas (``new_row = row + delta``); advances moment state."""
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+        grads = np.asarray(grads, dtype=np.float32).reshape(len(keys), -1)
+        out = np.empty_like(grads)
+        for i, key in enumerate(keys):
+            state = self._state.get(int(key))
+            if state is None:
+                state = [
+                    np.zeros(grads.shape[1], dtype=np.float32),
+                    np.zeros(grads.shape[1], dtype=np.float32),
+                    0,
+                ]
+                self._state[int(key)] = state
+            m, v, t = state
+            t += 1
+            state[2] = t
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grads[i]
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grads[i] * grads[i]
+            bias1 = 1.0 - self.beta1 ** t
+            bias2 = 1.0 - self.beta2 ** t
+            out[i] = -(self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps))
+        return out
+
+    def updated_rows(
+        self, keys: np.ndarray, rows: np.ndarray, grads: np.ndarray
+    ) -> np.ndarray:
+        """Row form of :meth:`delta_rows` (same state advance)."""
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+        rows = np.asarray(rows, dtype=np.float32).reshape(len(keys), -1)
+        return rows + self.delta_rows(keys, grads)
+
+    def state_bytes(self) -> int:
+        """Size of the in-memory moment state (for DESIGN notes)."""
+        return sum(m.nbytes + v.nbytes for m, v, _ in self._state.values())
+
+    def state_dict(self) -> dict:
+        """Per-row moments + steps, for resumable training checkpoints."""
+        return {
+            "state": {
+                key: (m.copy(), v.copy(), t) for key, (m, v, t) in self._state.items()
+            }
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._state = {
+            int(key): [
+                np.asarray(m, dtype=np.float32).copy(),
+                np.asarray(v, dtype=np.float32).copy(),
+                int(t),
+            ]
+            for key, (m, v, t) in state["state"].items()
         }

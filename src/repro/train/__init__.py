@@ -19,6 +19,13 @@ from repro.train.kge import KGETrainer
 from repro.train.gnn import GNNTrainer
 from repro.train.partition import beta_order, partition_of
 from repro.train.ddp import DDPReference
+from repro.train.dist import (
+    DistConfig,
+    DistributedTrainer,
+    ParameterServer,
+    StragglerInjector,
+    WorkerProgressClock,
+)
 
 __all__ = [
     "auc",
@@ -33,4 +40,9 @@ __all__ = [
     "beta_order",
     "partition_of",
     "DDPReference",
+    "DistConfig",
+    "DistributedTrainer",
+    "ParameterServer",
+    "StragglerInjector",
+    "WorkerProgressClock",
 ]

@@ -1,0 +1,115 @@
+"""Scheduled fault injection for distributed training.
+
+Mirrors the serving tier's ``ChaosInjector``: events are scheduled at
+simulated instants and fired by the training engine as its clock passes
+them, so a worker dies *mid-epoch* with batches in flight and a replica
+dies *mid-push* with deltas half-fanned-out — the only honest way to
+test the exactly-once ledger and the replicated store's hinted handoff.
+
+Events name a method on the target the engine passes in (the engine
+itself for worker events, which forwards replica events to the store),
+so the injector stays decoupled from both.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+class StragglerInjector:
+    """Time-scheduled worker and replica faults for a training run."""
+
+    def __init__(self) -> None:
+        self._events: list[tuple[float, int, str, str, tuple]] = []
+        self._sequence = 0
+        self.fired: list[dict] = []
+
+    def _schedule(self, at: float, label: str, method: str, args: tuple) -> None:
+        if at < 0:
+            raise ConfigError(f"chaos events need non-negative times, got {at}")
+        heapq.heappush(self._events, (at, self._sequence, label, method, args))
+        self._sequence += 1
+
+    # ------------------------------------------------------------------
+    # worker faults
+    # ------------------------------------------------------------------
+    def slow_worker_at(
+        self, at: float, worker_id: int, factor: float
+    ) -> "StragglerInjector":
+        """Divide one worker's GPU throughput by ``factor`` at ``at``."""
+        if factor <= 0:
+            raise ConfigError(f"slow-down factor must be positive, got {factor}")
+        self._schedule(
+            at, f"slow:{worker_id}x{factor:g}", "slow_worker", (worker_id, factor)
+        )
+        return self
+
+    def heal_worker_at(self, at: float, worker_id: int) -> "StragglerInjector":
+        """Restore a slowed worker to full speed."""
+        self._schedule(at, f"heal:{worker_id}", "heal_worker", (worker_id,))
+        return self
+
+    def kill_worker_at(self, at: float, worker_id: int) -> "StragglerInjector":
+        """Kill a worker; an in-flight computed-but-unpushed batch is lost
+        from the worker (never from training — the engine re-queues it)."""
+        self._schedule(at, f"kill:{worker_id}", "kill_worker", (worker_id,))
+        return self
+
+    def add_worker_at(self, at: float) -> "StragglerInjector":
+        """Grow the fleet by one worker (engine's ``worker_factory``)."""
+        self._schedule(at, "add-worker", "add_worker", ())
+        return self
+
+    # ------------------------------------------------------------------
+    # server-side (replica) faults, forwarded to the backing store
+    # ------------------------------------------------------------------
+    def kill_replica_at(
+        self, at: float, shard: int, replica: int
+    ) -> "StragglerInjector":
+        """Kill one store replica — including *during* a push fan-out."""
+        self._schedule(
+            at, f"kill-replica:{shard}/{replica}", "fail_replica", (shard, replica)
+        )
+        return self
+
+    def revive_replica_at(
+        self, at: float, shard: int, replica: int, catch_up: bool = True
+    ) -> "StragglerInjector":
+        self._schedule(
+            at,
+            f"revive-replica:{shard}/{replica}",
+            "revive_replica",
+            (shard, replica, catch_up),
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        return len(self._events)
+
+    def peek_time(self) -> Optional[float]:
+        return self._events[0][0] if self._events else None
+
+    def fire_due(self, now: float, target) -> int:
+        """Apply every event scheduled at or before ``now`` to ``target``.
+
+        ``target`` duck-types the event methods (the engine implements
+        the worker ones and forwards replica ones to its store).  Returns
+        the number fired.
+        """
+        count = 0
+        while self._events and self._events[0][0] <= now:
+            at, _, label, method, args = heapq.heappop(self._events)
+            action = getattr(target, method, None)
+            if action is None:
+                raise ConfigError(
+                    f"chaos event {label!r} needs a target with {method}(); "
+                    f"{type(target).__name__} has none"
+                )
+            action(*args)
+            self.fired.append({"label": label, "scheduled_at": at, "fired_at": now})
+            count += 1
+        return count

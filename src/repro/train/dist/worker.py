@@ -1,0 +1,103 @@
+"""A simulated training worker: replica network + private timeline.
+
+A worker owns a bitwise replica of the dense network, a GPU cost model
+charging a :class:`~repro.device.clock.WorkerClockView` (so N workers'
+compute overlaps instead of serializing on the shared clock), and a task
+adapter — a plain :class:`~repro.train.loop.BaseTrainer` subclass
+(DLRM/KGE/GNN) whose extracted :meth:`compute_gradients` runs the exact
+forward/backward/cost path single-node training uses.  The adapter's
+``tables``/store are never touched by the worker: all state flows
+through the parameter server as pulls and pushes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.clock import WorkerClockView
+from repro.train.dist.server import PushPacket
+from repro.train.loop import BaseTrainer
+
+
+class Worker:
+    """One simulated worker process.
+
+    Parameters
+    ----------
+    worker_id:
+        Stable identity used for progress tracking and deterministic
+        ordering of sync-round applies.
+    adapter:
+        Task trainer owning the replica network and a GPU model whose
+        clock is this worker's :class:`WorkerClockView`.
+    view:
+        The worker's private timeline over the shared clock.
+    """
+
+    def __init__(self, worker_id: int, adapter: BaseTrainer, view: WorkerClockView) -> None:
+        self.worker_id = worker_id
+        self.adapter = adapter
+        self.view = view
+        self.gpu = adapter.gpu
+        self.seq = 0
+        self.steps = 0
+        self.alive = True
+
+    @property
+    def now(self) -> float:
+        return self.view.now
+
+    def wait_until(self, when: float) -> float:
+        """Idle this worker's timeline forward to shared time ``when``."""
+        return self.view.wait_until(when)
+
+    def load_dense(self, dense: list[np.ndarray]) -> None:
+        """Install pulled dense parameters into the replica (bitwise)."""
+        parameters = list(self.adapter.network.parameters())
+        for param, pulled in zip(parameters, dense):
+            param.data[...] = pulled
+
+    def compute(self, batch, unique_keys: np.ndarray, rows: np.ndarray,
+                batch_index: int) -> PushPacket:
+        """Forward/backward on the replica; returns the push packet.
+
+        Compute cost lands on this worker's private timeline.  Dense
+        gradients are *copied* out of the replica (the replica is reused
+        next step) and the replica's grads cleared, mirroring the
+        single-node step/zero_grad cycle.
+        """
+        loss_value, emb_grads = self.adapter.compute_gradients(
+            batch, unique_keys, rows
+        )
+        dense_grads = [
+            np.zeros_like(param.data) if param.grad is None else param.grad.copy()
+            for param in self.adapter.network.parameters()
+        ]
+        self.adapter.network.zero_grad()
+        packet = PushPacket(
+            worker_id=self.worker_id,
+            seq=self.seq,
+            batch_index=batch_index,
+            keys=unique_keys,
+            emb_grads=emb_grads,
+            dense_grads=dense_grads,
+            loss=loss_value,
+        )
+        self.seq += 1
+        self.steps += 1
+        return packet
+
+    def slow_down(self, factor: float) -> None:
+        """Degrade this worker's GPU by ``factor`` (straggler injection)."""
+        if factor <= 0:
+            raise ValueError(f"slow-down factor must be positive, got {factor}")
+        self.gpu.flops_per_second /= factor
+
+    def restore_speed(self, flops_per_second: float) -> None:
+        self.gpu.flops_per_second = flops_per_second
+
+    def __repr__(self) -> str:
+        return (
+            f"Worker({self.worker_id}, steps={self.steps}, "
+            f"now={self.view.now:.6f}, alive={self.alive})"
+        )

@@ -219,12 +219,18 @@ class BaseTrainer:
             result.stall_events = store_stats.stall_events
         return result
 
-    def _train_one(self, batch, unique_keys: np.ndarray) -> None:
-        result = self._result
-        t0 = self.clock.now
-        rows = self.tables.get(unique_keys)
-        result.emb_access_seconds += self.clock.now - t0
+    def compute_gradients(
+        self, batch, unique_keys: np.ndarray, rows: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """One forward/backward with GPU cost accounting; no state updates.
 
+        Returns ``(loss_value, grads_wrt_rows)`` with dense gradients left
+        in ``network.parameters()[i].grad`` — the caller decides what to
+        do with them (step the local optimizer, or ship them to a
+        parameter server).  Extracted from :meth:`_train_one` so the
+        distributed workers run the *identical* compute/timing path.
+        """
+        result = self._result
         flops = self.batch_flops(batch)
         t1 = self.clock.now
         loss_value, grads = self.forward_backward(batch, unique_keys, rows)
@@ -233,9 +239,18 @@ class BaseTrainer:
 
         t2 = self.clock.now
         self.gpu.charge(2.0 * flops)  # backward ≈ 2× forward
+        result.backward_seconds += self.clock.now - t2
+        return loss_value, grads
+
+    def _train_one(self, batch, unique_keys: np.ndarray) -> None:
+        result = self._result
+        t0 = self.clock.now
+        rows = self.tables.get(unique_keys)
+        result.emb_access_seconds += self.clock.now - t0
+
+        loss_value, grads = self.compute_gradients(batch, unique_keys, rows)
         self.nn_optimizer.step()
         self.network.zero_grad()
-        result.backward_seconds += self.clock.now - t2
         result.losses.append(loss_value)
 
         new_rows = self.emb_optimizer.updated_rows(unique_keys, rows, grads)

@@ -57,6 +57,78 @@ class TestBetaOrder:
             beta_order(np.zeros((3, 2), dtype=np.int64), 10)
 
 
+class TestBetaOrderProperties:
+    """Randomized property tests across partition counts and buffer sizes."""
+
+    def _random_triples(self, rng, n, entities):
+        return np.stack([
+            rng.integers(0, entities, n),
+            rng.integers(0, 7, n),
+            rng.integers(0, entities, n),
+        ], axis=1)
+
+    def test_is_permutation_for_random_configurations(self):
+        rng = np.random.default_rng(42)
+        for _ in range(10):
+            entities = int(rng.integers(10, 2000))
+            n = int(rng.integers(1, 3000))
+            partitions = int(rng.integers(1, 32))
+            triples = self._random_triples(rng, n, entities)
+            ordered = beta_order(triples, entities, num_partitions=partitions)
+            assert ordered.shape == triples.shape
+            # A permutation preserves the multiset of rows exactly.
+            assert sorted(map(tuple, ordered)) == sorted(map(tuple, triples))
+
+    def test_never_more_faults_than_shuffled(self):
+        """The ordered schedule never needs more buffer swaps than the
+        same triples shuffled, for any (partitions, buffer) geometry."""
+        rng = np.random.default_rng(7)
+        for _ in range(8):
+            entities = int(rng.integers(50, 1500))
+            partitions = int(rng.integers(2, 16))
+            buffers = int(rng.integers(1, max(2, partitions)))
+            triples = self._random_triples(rng, int(rng.integers(200, 2500)), entities)
+            shuffled = triples[rng.permutation(len(triples))]
+            ordered = beta_order(triples, entities, num_partitions=partitions)
+            ordered_faults = swap_count(
+                ordered, entities, partitions, buffer_partitions=buffers
+            )
+            shuffled_faults = swap_count(
+                shuffled, entities, partitions, buffer_partitions=buffers
+            )
+            assert ordered_faults <= shuffled_faults
+
+    def test_single_partition(self):
+        rng = np.random.default_rng(1)
+        triples = self._random_triples(rng, 100, 50)
+        ordered = beta_order(triples, 50, num_partitions=1)
+        # One partition: everything already co-resident, order is free but
+        # must still be a permutation and incur only the initial loads.
+        assert sorted(map(tuple, ordered)) == sorted(map(tuple, triples))
+        assert swap_count(ordered, 50, 1, buffer_partitions=2) <= 1
+
+    def test_more_partitions_than_entities(self):
+        rng = np.random.default_rng(2)
+        triples = self._random_triples(rng, 60, 5)
+        ordered = beta_order(triples, 5, num_partitions=64)
+        assert sorted(map(tuple, ordered)) == sorted(map(tuple, triples))
+        parts = partition_of(ordered[:, 0], 5, 64)
+        assert parts.max() < 64
+
+    def test_empty_triples(self):
+        empty = np.zeros((0, 3), dtype=np.int64)
+        ordered = beta_order(empty, 100, num_partitions=4)
+        assert ordered.shape == (0, 3)
+        assert swap_count(empty, 100, 4, buffer_partitions=2) == 0
+
+    def test_ordering_is_stable_and_deterministic(self):
+        rng = np.random.default_rng(3)
+        triples = self._random_triples(rng, 500, 200)
+        first = beta_order(triples, 200, num_partitions=8)
+        second = beta_order(triples, 200, num_partitions=8)
+        np.testing.assert_array_equal(first, second)
+
+
 class TestDDPReference:
     def test_throughput_positive(self):
         assert DDPReference().throughput(1024) > 0
