@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-recovery test-dist serve-smoke bench bench-smoke bench-gate lint
+.PHONY: test test-recovery test-dist test-sanitize serve-smoke bench bench-smoke bench-gate lint typecheck analyze
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -46,8 +46,18 @@ bench-gate:
 	$(PYTHON) -m pytest benchmarks/test_sharded_batched.py benchmarks/test_serving.py benchmarks/test_replicated.py benchmarks/test_dist_scaling.py -q
 	$(PYTHON) benchmarks/compare.py --baseline results/baselines --fresh . --tolerance 0.30 --since results/baselines/.gate-start
 
+# Replication + distributed suites once more under the runtime invariant
+# sanitizer (repro.analysis.sanitize): every protocol transition is
+# checked live, so a lost update or stale-read bug fails loudly with an
+# event trace instead of as a silent convergence drift.
+test-sanitize:
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest tests/test_replication.py tests/test_distributed.py tests/test_analysis_sanitize.py -q
+
 # Prefer ruff (fast, wider net) when present; fall back to pyflakes,
-# then to the always-available compileall syntax check.
+# then to the always-available compileall syntax check.  The repo's own
+# AST linter (REP001-REP005: simulated-clock purity, KV contract
+# completeness, storage layering, no swallowed exceptions, no set-order
+# iteration) always runs — it has no third-party dependencies.
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
@@ -57,3 +67,18 @@ lint:
 	else \
 		echo "ruff/pyflakes not installed; compileall check only"; \
 	fi
+	$(PYTHON) -m repro.analysis.lint src tests benchmarks examples
+
+# Strict typing on the contract surfaces (mypy.ini scopes the strict
+# flags to repro.kv.api / repro.device.clock / repro.analysis).  Skips
+# gracefully when mypy is not installed so the target is safe anywhere.
+typecheck:
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy src/repro/kv/api.py src/repro/device/clock.py src/repro/analysis; \
+	else \
+		echo "mypy not installed; skipping typecheck"; \
+	fi
+
+# The full static gate CI's analyze job runs: lint (incl. the repo
+# linter) + typecheck.
+analyze: lint typecheck

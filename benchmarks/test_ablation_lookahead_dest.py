@@ -12,10 +12,10 @@ from repro.data import CTRDataset
 from repro.train import TrainerConfig
 
 _CONFIGS = {
-    "none": dict(window=0, lookahead=0),
-    "cache only": dict(window=2, lookahead=0),
-    "buffer only": dict(window=0, lookahead=24),
-    "cache + buffer": dict(window=2, lookahead=24),
+    "none": {"window": 0, "lookahead": 0},
+    "cache only": {"window": 2, "lookahead": 0},
+    "buffer only": {"window": 0, "lookahead": 24},
+    "cache + buffer": {"window": 2, "lookahead": 24},
 }
 
 

@@ -118,7 +118,7 @@ def test_shard_scaling_sweep(benchmark):
             workload = YCSBWorkload(_ITEMS, value_bytes=64,
                                     distribution="uniform", seed=31)
 
-            def make_shard(index):
+            def make_shard(index, num_shards=num_shards):
                 directory = tempfile.mkdtemp(prefix=f"shard{num_shards}-{index}-")
                 # Constant aggregate memory: scaling comes from parallel
                 # devices, not from extra buffer.

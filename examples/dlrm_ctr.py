@@ -16,9 +16,9 @@ from repro.train import TrainerConfig
 def main() -> None:
     dataset = CTRDataset(num_fields=8, field_cardinality=2000, seed=1)
     modes = {
-        "BSP (bound 0)": dict(bound=0, depth=0, window=0),
-        "SSP (bound 4)": dict(bound=4, depth=2, window=2),
-        "ASP (unbounded)": dict(bound=ASP_BOUND, depth=32, window=8),
+        "BSP (bound 0)": {"bound": 0, "depth": 0, "window": 0},
+        "SSP (bound 4)": {"bound": 4, "depth": 2, "window": 2},
+        "ASP (unbounded)": {"bound": ASP_BOUND, "depth": 32, "window": 8},
     }
     print(f"{'mode':18s} {'samples/s':>10s} {'AUC':>8s} {'stalls':>7s}")
     for name, knobs in modes.items():

@@ -1,0 +1,464 @@
+"""The built-in rule catalog: REP001-REP005.
+
+Each rule states one invariant the simulated train/serve stack rests on
+and generic linters cannot express.  Rules scope themselves by module
+name (``repro.kv.*``, ``repro.serve.*``, ...), so test/benchmark code is
+never in scope; a deliberate exception in scope is suppressed with
+``# repro: lint-ignore[RULE]`` on the flagged line.
+
+REP001  simulated-clock purity: no wall clock, no ambient entropy.
+REP002  KVStore contract completeness for every engine under ``kv/``.
+REP003  layering: serve/ and train/dist/ reach storage only through
+        ``repro.kv`` public names; core/ never imports serve/.
+REP004  no swallowed broad exceptions in crash-safety-critical modules.
+REP005  no iteration over set values (replay/fan-out nondeterminism).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.lint import Finding, LintRule, SourceFile, register
+
+# ----------------------------------------------------------------------
+# REP001 — simulated components must not read wall clocks or ambient
+# entropy: all time flows from device/clock.py timelines, all randomness
+# from seeded generators (random.Random / np.random.default_rng(seed)).
+# ----------------------------------------------------------------------
+
+_WALL_CLOCK_FUNCS = {
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "sleep",
+}
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+#: The only attribute of the ``random`` module simulated code may touch:
+#: an explicitly seeded generator instance.
+_RANDOM_ALLOWED = {"Random"}
+
+
+@register
+class SimulatedClockPurity(LintRule):
+    name = "REP001"
+    summary = (
+        "no wall-clock or ambient entropy in simulated components "
+        "(use SimClock timelines and seeded random.Random)"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        # Aliases under which the banned modules are imported here; a
+        # local variable merely *named* ``time`` never trips the rule.
+        time_aliases: set[str] = set()
+        random_aliases: set[str] = set()
+        datetime_aliases: set[str] = set()  # datetime/date classes + module
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = alias.asname or alias.name
+                    if alias.name == "time":
+                        time_aliases.add(target)
+                    elif alias.name == "random":
+                        random_aliases.add(target)
+                    elif alias.name == "datetime":
+                        datetime_aliases.add(target)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _WALL_CLOCK_FUNCS:
+                            yield source.finding(
+                                self.name, node,
+                                f"wall-clock import `time.{alias.name}`: simulated "
+                                "components take time from a SimClock timeline",
+                            )
+                elif node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in _RANDOM_ALLOWED:
+                            yield source.finding(
+                                self.name, node,
+                                f"entropy import `random.{alias.name}`: use a "
+                                "seeded random.Random instance",
+                            )
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            datetime_aliases.add(alias.asname or alias.name)
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            func = node.func
+            base = func.value
+            if isinstance(base, ast.Name):
+                if base.id in time_aliases and func.attr in _WALL_CLOCK_FUNCS:
+                    yield source.finding(
+                        self.name, node,
+                        f"wall-clock call `{base.id}.{func.attr}()`: simulated "
+                        "components take time from a SimClock timeline",
+                    )
+                elif base.id in random_aliases and func.attr not in _RANDOM_ALLOWED:
+                    yield source.finding(
+                        self.name, node,
+                        f"module-level entropy `{base.id}.{func.attr}()`: use a "
+                        "seeded random.Random instance",
+                    )
+                elif base.id in datetime_aliases and func.attr in _DATETIME_FUNCS:
+                    yield source.finding(
+                        self.name, node,
+                        f"wall-clock call `{base.id}.{func.attr}()`: simulated "
+                        "components take time from a SimClock timeline",
+                    )
+                elif base.id == "os" and func.attr == "urandom":
+                    yield source.finding(
+                        self.name, node,
+                        "ambient entropy `os.urandom()`: use a seeded generator",
+                    )
+            elif (
+                isinstance(base, ast.Attribute)
+                and base.attr == "datetime"
+                and isinstance(base.value, ast.Name)
+                and base.value.id in datetime_aliases
+                and func.attr in _DATETIME_FUNCS
+            ):
+                yield source.finding(
+                    self.name, node,
+                    f"wall-clock call `datetime.datetime.{func.attr}()`: simulated "
+                    "components take time from a SimClock timeline",
+                )
+
+
+# ----------------------------------------------------------------------
+# REP002 — every concrete engine under kv/ must carry the full KVStore
+# contract, implemented or *concretely* inherited, with compatible
+# signatures.  A missing override silently falls back to per-key loops
+# (a perf cliff) or raises at runtime (a durability hole).
+# ----------------------------------------------------------------------
+
+#: method -> required parameter names after self/cls.  Extra parameters
+#: are compatible only when they carry defaults (or are *args/**kwargs).
+_CONTRACT: dict[str, list[str]] = {
+    "multi_get": ["keys"],
+    "multi_put": ["keys", "values"],
+    "snapshot_read_many": ["keys"],
+    "multi_rmw": ["keys", "update"],
+    "freeze": [],
+    "checkpoint": [],
+    "restore": ["directory"],
+}
+
+
+def _base_names(node: ast.ClassDef) -> list[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _is_abstract_def(node: ast.FunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator
+        if isinstance(target, ast.Call):
+            target = target.func
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(
+            target, "id", None
+        )
+        if name in ("abstractmethod", "abstractproperty"):
+            return True
+    return False
+
+
+def _method_defs(node: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _signature_problem(method: ast.FunctionDef, required: list[str]) -> Optional[str]:
+    args = method.args
+    params = [arg.arg for arg in args.posonlyargs + args.args]
+    if params and params[0] in ("self", "cls"):
+        params = params[1:]
+    defaults = len(args.defaults)
+    required_count = len(params) - defaults  # params without a default
+    for index, name in enumerate(required):
+        if index < len(params):
+            if params[index] != name:
+                return (
+                    f"parameter {index + 1} is {params[index]!r}, contract "
+                    f"names it {name!r}"
+                )
+        elif args.vararg is None and args.kwarg is None:
+            return f"missing contract parameter {name!r}"
+    if required_count > len(required):
+        extra = params[len(required):required_count]
+        return f"extra required parameter(s) {extra} beyond the contract"
+    return None
+
+
+@register
+class KVContractCompleteness(LintRule):
+    name = "REP002"
+    summary = (
+        "every concrete engine under kv/ implements or concretely inherits "
+        "the full KVStore contract with compatible signatures"
+    )
+
+    def applies(self, module: Optional[str]) -> bool:
+        return module is not None and (
+            module == "repro.kv" or module.startswith("repro.kv.")
+        )
+
+    def check_project(self, sources: list[SourceFile]) -> Iterator[Finding]:
+        classes: dict[str, tuple[SourceFile, ast.ClassDef]] = {}
+        for source in sources:
+            for node in source.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    classes[node.name] = (source, node)
+
+        def ancestry(name: str, seen: frozenset[str] = frozenset()) -> Iterator[str]:
+            """Class plus in-project bases, nearest first (cycle-safe)."""
+            if name in seen or name not in classes:
+                return
+            yield name
+            for base in _base_names(classes[name][1]):
+                yield from ancestry(base, seen | {name})
+
+        def descends_from_kvstore(name: str) -> bool:
+            return "KVStore" in ancestry(name)
+
+        def resolve(name: str, method: str) -> Optional[ast.FunctionDef]:
+            for ancestor in ancestry(name):
+                defs = _method_defs(classes[ancestor][1])
+                if method in defs:
+                    return defs[method]
+            return None
+
+        for name, (source, node) in sorted(classes.items()):
+            if name == "KVStore" or not descends_from_kvstore(name):
+                continue
+            own_defs = _method_defs(node)
+            if any(_is_abstract_def(d) for d in own_defs.values()):
+                continue  # abstract intermediary, not an engine
+            if any(base in ("ABC", "Protocol") for base in _base_names(node)):
+                continue
+            for method, required in _CONTRACT.items():
+                found = resolve(name, method)
+                if found is None:
+                    yield source.finding(
+                        self.name, node,
+                        f"engine {name} neither implements nor inherits "
+                        f"KVStore contract method `{method}`",
+                    )
+                    continue
+                if _is_abstract_def(found):
+                    yield source.finding(
+                        self.name, node,
+                        f"engine {name} inherits only an abstract `{method}`; "
+                        "a concrete implementation is required",
+                    )
+                    continue
+                problem = _signature_problem(found, required)
+                if problem is not None and method in own_defs:
+                    yield source.finding(
+                        self.name, found,
+                        f"{name}.{method} signature incompatible with the "
+                        f"KVStore contract: {problem}",
+                    )
+
+
+# ----------------------------------------------------------------------
+# REP003 — layering.  The serving tier and the distributed trainer are
+# engine-agnostic by design: they reach storage only through repro.kv
+# re-exports, so an engine-internal refactor can never ripple upward.
+# core/ sits below serve/ and must never import it.
+# ----------------------------------------------------------------------
+
+_KV_FACADE = "repro.kv"
+_KV_SUBMODULES = {
+    "api", "btree", "common", "faster", "lsm", "replicated", "sharded",
+}
+
+
+@register
+class StorageLayering(LintRule):
+    name = "REP003"
+    summary = (
+        "serve/ and train/dist/ import storage only through repro.kv "
+        "public names; core/ never imports serve/"
+    )
+
+    def applies(self, module: Optional[str]) -> bool:
+        if module is None:
+            return False
+        return (
+            module.startswith("repro.serve")
+            or module.startswith("repro.train.dist")
+            or module.startswith("repro.core")
+        )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        module = source.module or ""
+        upper_layer = module.startswith("repro.serve") or module.startswith(
+            "repro.train.dist"
+        )
+        for node in ast.walk(source.tree):
+            targets: list[tuple[ast.AST, str]] = []
+            if isinstance(node, ast.Import):
+                targets = [(node, alias.name) for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                targets = [(node, node.module)]
+                if upper_layer and node.module == _KV_FACADE:
+                    for alias in node.names:
+                        if alias.name in _KV_SUBMODULES:
+                            yield source.finding(
+                                self.name, node,
+                                f"`from repro.kv import {alias.name}` reaches an "
+                                "engine submodule; import its public names from "
+                                "repro.kv instead",
+                            )
+            for target_node, target in targets:
+                if upper_layer and target.startswith(_KV_FACADE + "."):
+                    yield source.finding(
+                        self.name, target_node,
+                        f"{module} imports storage internals `{target}`; the "
+                        "serving/distributed layers use repro.kv public names "
+                        "only",
+                    )
+                if module.startswith("repro.core") and (
+                    target == "repro.serve" or target.startswith("repro.serve.")
+                ):
+                    yield source.finding(
+                        self.name, target_node,
+                        f"core layer imports the serving tier (`{target}`); "
+                        "core/ must stay below serve/",
+                    )
+
+
+# ----------------------------------------------------------------------
+# REP004 — crash-safety-critical modules must not swallow broad
+# exceptions: a silenced Exception in a WAL/flush/manifest path turns a
+# detectable crash into silent data loss.
+# ----------------------------------------------------------------------
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(expr: Optional[ast.expr]) -> bool:
+    if expr is None:
+        return True  # bare except:
+    if isinstance(expr, ast.Name):
+        return expr.id in _BROAD
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in _BROAD
+    if isinstance(expr, ast.Tuple):
+        return any(_is_broad(element) for element in expr.elts)
+    return False
+
+
+@register
+class NoSwallowedBroadExceptions(LintRule):
+    name = "REP004"
+    summary = (
+        "no swallowed broad exceptions in crash-safety-critical modules "
+        "(kv/, core/checkpoint)"
+    )
+
+    def applies(self, module: Optional[str]) -> bool:
+        if module is None:
+            return False
+        return (
+            module == "repro.kv"
+            or module.startswith("repro.kv.")
+            or module == "repro.core.checkpoint"
+        )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node.type):
+                continue
+            reraises = any(
+                isinstance(sub, ast.Raise)
+                for stmt in node.body
+                for sub in ast.walk(stmt)
+            )
+            if not reraises:
+                label = "bare except" if node.type is None else "broad except"
+                yield source.finding(
+                    self.name, node,
+                    f"{label} swallows errors in a crash-safety-critical "
+                    "module; catch the specific error or re-raise",
+                )
+
+
+# ----------------------------------------------------------------------
+# REP005 — set iteration order varies across processes (PYTHONHASHSEED),
+# so a set feeding writes, fan-out order, or telemetry makes runs
+# unreplayable.  Sort the set first; sorted(set_expr) never flags.
+# ----------------------------------------------------------------------
+
+_SET_METHODS = {"intersection", "union", "difference", "symmetric_difference"}
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _SET_METHODS:
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+@register
+class NoSetIteration(LintRule):
+    name = "REP005"
+    summary = (
+        "no iteration over set values (nondeterministic order breaks "
+        "replay); wrap the set in sorted(...)"
+    )
+
+    _MESSAGE = (
+        "iterating a set has nondeterministic order (writes, fan-out and "
+        "telemetry become unreplayable); iterate sorted(...) instead"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.For) and _is_set_expr(node.iter):
+                yield source.finding(self.name, node.iter, self._MESSAGE)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    if _is_set_expr(generator.iter):
+                        yield source.finding(self.name, generator.iter, self._MESSAGE)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple")
+                and node.args
+                and _is_set_expr(node.args[0])
+            ):
+                yield source.finding(
+                    self.name, node,
+                    f"`{node.func.id}(...)` over a set materializes a "
+                    "nondeterministic order; use sorted(...)",
+                )
+
+
+__all__: Iterable[str] = [
+    "KVContractCompleteness",
+    "NoSetIteration",
+    "NoSwallowedBroadExceptions",
+    "SimulatedClockPurity",
+    "StorageLayering",
+]

@@ -1,0 +1,73 @@
+"""Ring-buffer event trace backing the runtime sanitizer.
+
+The sanitizer records one :class:`TraceEvent` per intercepted operation
+(clock transitions, read routing decisions, write fan-outs, parameter
+pushes, checkpoint commits).  When an invariant trips, the most recent
+events ride along inside the :class:`~repro.errors.SanitizerError`, so a
+violation report reads like a miniature flight recorder: not just *what*
+broke but the operations that led up to it — the part of a data race or
+lost-update bug that a bare assertion message always loses.
+
+The buffer is a fixed-capacity :class:`collections.deque`: recording is
+O(1), memory is bounded no matter how long the instrumented run is, and
+the oldest events fall off the back exactly like a tracing JIT's ring.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One intercepted operation: a kind tag plus a rendered detail line.
+
+    ``seq`` is the event's position in the trace since the sanitizer was
+    enabled — monotonically increasing even after older events have been
+    evicted, so two events' relative order is always recoverable.
+    """
+
+    seq: int
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"#{self.seq} {self.kind}: {self.detail}"
+
+
+class EventTrace:
+    """Bounded trace of the sanitizer's most recent observations."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"trace capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def record(self, kind: str, detail: str) -> TraceEvent:
+        """Append one event; returns it (handy for error messages)."""
+        event = TraceEvent(self._seq, kind, detail)
+        self._seq += 1
+        self._events.append(event)
+        return event
+
+    def tail(self, count: int = 8) -> list[TraceEvent]:
+        """The most recent ``count`` events, oldest first."""
+        if count <= 0:
+            return []
+        return list(self._events)[-count:]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __repr__(self) -> str:
+        return f"EventTrace(capacity={self.capacity}, recorded={self._seq})"

@@ -58,7 +58,7 @@ class NeighborSampler:
             dst_nodes = layer_nodes[0]
             edges: dict[int, np.ndarray] = {}
             src_set: list[int] = list(dst_nodes)
-            seen = set(int(n) for n in dst_nodes)
+            seen = {int(n) for n in dst_nodes}
             for node in dst_nodes:
                 neighbors = self.graph.neighbors(int(node))
                 if len(neighbors) == 0:

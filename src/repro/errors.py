@@ -33,3 +33,19 @@ class ConfigError(ReproError):
 
 class ServingError(ReproError):
     """The online serving tier could not satisfy a request or bootstrap."""
+
+
+class SanitizerError(ReproError):
+    """A runtime invariant check (``repro.analysis.sanitize``) failed.
+
+    Carries the sanitizer's ring-buffer event trace — the most recent
+    clock/routing/ledger events leading up to the violation — so the
+    report localizes the offending transition, not just its symptom.
+    """
+
+    def __init__(self, message: str, trace: list | None = None) -> None:
+        self.trace = list(trace) if trace else []
+        if self.trace:
+            tail = "\n".join(f"  {event}" for event in self.trace[-8:])
+            message = f"{message}\nmost recent sanitizer events:\n{tail}"
+        super().__init__(message)

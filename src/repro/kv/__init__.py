@@ -21,16 +21,26 @@ replica groups on top for availability: synchronous write fan-out,
 divergence-bounded read routing, failover with hinted catch-up.
 """
 
-from repro.kv.api import KVStore, StoreStats
+from repro.kv.api import CheckpointManager, KVStore, StoreStats
+from repro.kv.common.cache import ClockCache, LRUCache
+from repro.kv.common.serialization import decode_vector, encode_vector
 from repro.kv.replicated import ReplicaGroup, ReplicatedKVStore
 from repro.kv.sharded import ShardedKVStore, ShardMigration, shard_hash
 
+# The names above are the storage layer's public surface: the serving
+# tier and the distributed trainer import *only* these (rule REP003 in
+# `repro.analysis`), so engine internals can be refactored freely.
 __all__ = [
+    "CheckpointManager",
+    "ClockCache",
     "KVStore",
+    "LRUCache",
     "ReplicaGroup",
     "ReplicatedKVStore",
     "ShardMigration",
     "ShardedKVStore",
     "StoreStats",
+    "decode_vector",
+    "encode_vector",
     "shard_hash",
 ]

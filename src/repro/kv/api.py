@@ -10,7 +10,8 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from types import TracebackType
+from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.errors import CheckpointError, StorageError
 
@@ -30,7 +31,7 @@ class StoreStats:
     deletes: int = 0
     hits: int = 0
     misses: int = 0
-    extra: dict = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
 
     def hit_ratio(self) -> float:
         total = self.hits + self.misses
@@ -75,7 +76,7 @@ class CheckpointManager(ABC):
 
     def checkpoint_root(self) -> str:
         """Base directory containing the durable image."""
-        root = getattr(self, "directory", None)
+        root: Optional[str] = getattr(self, "directory", None)
         if root is None:
             raise CheckpointError(
                 f"{type(self).__name__} has no checkpoint directory"
@@ -93,7 +94,7 @@ class CheckpointManager(ABC):
 
     @classmethod
     @abstractmethod
-    def restore(cls, directory: str, **kwargs) -> "KVStore":
+    def restore(cls, directory: str, **kwargs: Any) -> "KVStore":
         """Reopen a store from the durable image in ``directory``."""
 
 
@@ -136,7 +137,7 @@ class KVStore(ABC):
         self.put(key, new_value)
         return new_value
 
-    def multi_get(self, keys) -> list:
+    def multi_get(self, keys: Iterable[int]) -> list[Optional[bytes]]:
         """Batched get preserving input order (``None`` for absent keys).
 
         ``keys`` may be any iterable (generators included); it is
@@ -149,7 +150,11 @@ class KVStore(ABC):
         keys = self._normalize_keys(keys)
         return [self.get(key) for key in keys]
 
-    def multi_rmw(self, keys, update: Callable[[list, list], list]) -> list:
+    def multi_rmw(
+        self,
+        keys: Iterable[int],
+        update: Callable[[list[int], list[Optional[bytes]]], list[bytes]],
+    ) -> list[bytes]:
         """Batched read-modify-write; returns the new values written.
 
         ``update(sub_keys, current_values) -> new_values`` receives the
@@ -177,7 +182,7 @@ class KVStore(ABC):
         self.multi_put(keys, new_values)
         return new_values
 
-    def multi_put(self, keys, values) -> None:
+    def multi_put(self, keys: Iterable[int], values: Iterable[bytes]) -> None:
         """Batched put applied in input order (the last duplicate wins).
 
         ``keys`` and ``values`` may be any iterables; both are
@@ -191,12 +196,14 @@ class KVStore(ABC):
             self.put(key, value)
 
     @staticmethod
-    def _normalize_keys(keys) -> list:
+    def _normalize_keys(keys: Iterable[int]) -> list[int]:
         """Materialize a key iterable (generators have no ``len``)."""
         return list(keys)
 
     @staticmethod
-    def _normalize_pairs(keys, values) -> tuple[list, list]:
+    def _normalize_pairs(
+        keys: Iterable[int], values: Iterable[bytes]
+    ) -> tuple[list[int], list[bytes]]:
         """Materialize both iterables and enforce equal lengths."""
         keys = list(keys)
         values = list(values)
@@ -233,7 +240,7 @@ class KVStore(ABC):
         """
         return self.get(key)
 
-    def snapshot_read_many(self, keys) -> list:
+    def snapshot_read_many(self, keys: Iterable[int]) -> list[Optional[bytes]]:
         """Batched :meth:`snapshot_read` preserving input order."""
         return self.multi_get(keys)
 
@@ -264,5 +271,10 @@ class KVStore(ABC):
     def __enter__(self) -> "KVStore":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self.close()

@@ -38,14 +38,21 @@ Failure handling:
 
 from __future__ import annotations
 
+import importlib
+import json
+import os
 from typing import Callable, Iterator, Optional, Sequence
 
 from repro.device.clock import ReplicaVersionClock
-from repro.errors import ConfigError, StorageError
-from repro.kv.api import KVStore, StoreStats
+from repro.errors import CheckpointError, ConfigError, StorageError
+from repro.kv.api import CheckpointManager, KVStore, StoreStats
 from repro.kv.sharded import shard_hash
 
 READ_POLICIES = ("one", "quorum")
+
+#: Coordinated checkpoint manifest binding every replica image plus the
+#: group state (version clocks, liveness, hint queues) into one unit.
+_MANIFEST = "replicated.manifest.json"
 
 #: Clock component chaos-injected slowness is charged to (visible in the
 #: busy-time table, separate from genuine cpu/ssd work).
@@ -312,7 +319,7 @@ class ReplicaGroup:
         return -1 if hints is None else len(hints)
 
 
-class ReplicatedKVStore(KVStore):
+class ReplicatedKVStore(KVStore, CheckpointManager):
     """Hash-sharded store with N-way replica groups per shard.
 
     Parameters
@@ -337,6 +344,10 @@ class ReplicatedKVStore(KVStore):
     max_hints:
         Per-replica hinted-handoff cap; beyond it a revive rebuilds the
         replica from a peer's full scan instead of replaying hints.
+    directory:
+        Optional base directory for the coordinated checkpoint manifest;
+        every replica's own directory must live under it.  Without one,
+        ``checkpoint`` degrades to the per-replica checkpoints only.
     """
 
     def __init__(
@@ -347,6 +358,7 @@ class ReplicatedKVStore(KVStore):
         divergence_bound: int = 0,
         read_policy: str = "one",
         max_hints: int = 100_000,
+        directory: Optional[str] = None,
     ) -> None:
         if num_shards <= 0:
             raise ConfigError(f"num_shards must be positive, got {num_shards}")
@@ -362,6 +374,7 @@ class ReplicatedKVStore(KVStore):
         self.replication = replication
         self.divergence_bound = divergence_bound
         self.read_policy = read_policy
+        self.directory = directory
         self.groups: list[ReplicaGroup] = [
             ReplicaGroup(
                 [factory(shard, replica) for replica in range(replication)],
@@ -578,6 +591,136 @@ class ReplicatedKVStore(KVStore):
 
     def replica_lag(self, shard: int, replica: int) -> int:
         return self.groups[shard].clock.lag(replica)
+
+    # ------------------------------------------------------------------
+    # coordinated checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Checkpoint every replica, then bind them with one manifest.
+
+        Each replica engine persists its own crash-consistent image
+        first; the manifest — replica locations and classes plus the
+        *group* state a restore cannot rediscover (version clocks,
+        liveness flags, hint queues) — is written atomically last, so a
+        crash mid-checkpoint leaves the previous manifest authoritative.
+        Like the sharded manifest, it pins locations rather than image
+        versions: cross-shard crash atomicity comes from uploading the
+        unit through the content-addressed ``CloudCheckpointer``.
+        """
+        for group in self.groups:
+            for replica in group.replicas:
+                snap = getattr(replica, "checkpoint", None)
+                if snap is not None:
+                    snap()
+        if self.directory is None:
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        manifest = {
+            "num_shards": self.num_shards,
+            "replication": self.replication,
+            "divergence_bound": self.divergence_bound,
+            "read_policy": self.read_policy,
+            "replicas": [
+                [self._replica_relpath(replica) for replica in group.replicas]
+                for group in self.groups
+            ],
+            "types": [
+                [
+                    f"{type(replica).__module__}.{type(replica).__qualname__}"
+                    for replica in group.replicas
+                ]
+                for group in self.groups
+            ],
+            "clocks": [
+                {"version": group.clock.version, "applied": list(group.clock.applied)}
+                for group in self.groups
+            ],
+            "alive": [list(group.alive) for group in self.groups],
+            "max_hints": [group.max_hints for group in self.groups],
+            # Hinted-handoff queues survive the round trip: a revive
+            # after restore replays exactly the keys the live run owed
+            # the dead replica.  ``None`` marks an overflowed queue.
+            "hints": [
+                [None if hints is None else sorted(hints) for hints in group._hints]
+                for group in self.groups
+            ],
+        }
+        tmp = os.path.join(self.directory, _MANIFEST + ".tmp")
+        with open(tmp, "w") as f:
+            json.dump(manifest, f)
+        os.replace(tmp, os.path.join(self.directory, _MANIFEST))
+
+    def _replica_relpath(self, replica: KVStore) -> str:
+        """A replica's directory relative to the coordinated base dir."""
+        child_dir = getattr(replica, "directory", None)
+        if child_dir is None:
+            raise CheckpointError(
+                f"replica {type(replica).__name__} has no directory; "
+                "coordinated checkpoints need file-backed replicas"
+            )
+        rel = os.path.relpath(
+            os.path.abspath(child_dir), os.path.abspath(self.directory)
+        )
+        if rel.startswith(os.pardir):
+            raise CheckpointError(
+                f"replica directory {child_dir} is outside the coordinated "
+                f"base {self.directory}; place every replica under the base"
+            )
+        return rel
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str,
+        factory: Optional[Callable[[int, int, str], KVStore]] = None,
+        **kwargs,
+    ) -> "ReplicatedKVStore":
+        """Reopen a coordinated replicated checkpoint.
+
+        ``factory(shard_index, replica_index, replica_directory)``
+        rebuilds one replica engine from its image — use it to re-wire
+        shared SSD/clock models.  When omitted, each replica's class
+        recorded in the manifest is imported and its own ``restore`` is
+        called with ``kwargs`` forwarded.  Group state — version clocks,
+        liveness, hint queues — comes back exactly as checkpointed, so
+        lag bookkeeping and pending hinted catch-ups survive recovery.
+        """
+        manifest_path = os.path.join(directory, _MANIFEST)
+        if not os.path.exists(manifest_path):
+            raise CheckpointError(f"no coordinated replicated manifest in {directory}")
+        with open(manifest_path) as f:
+            manifest = json.load(f)
+        groups: list[ReplicaGroup] = []
+        for shard, rels in enumerate(manifest["replicas"]):
+            replicas: list[KVStore] = []
+            for index, rel in enumerate(rels):
+                replica_dir = os.path.join(directory, rel)
+                if factory is not None:
+                    replicas.append(factory(shard, index, replica_dir))
+                else:
+                    dotted = manifest["types"][shard][index]
+                    module_name, _, class_name = dotted.rpartition(".")
+                    replica_cls = getattr(
+                        importlib.import_module(module_name), class_name
+                    )
+                    replicas.append(replica_cls.restore(replica_dir, **kwargs))
+            group = ReplicaGroup(replicas, max_hints=manifest["max_hints"][shard])
+            clock_state = manifest["clocks"][shard]
+            group.clock.version = clock_state["version"]
+            group.clock.applied = list(clock_state["applied"])
+            group.alive = list(manifest["alive"][shard])
+            group._hints = [
+                None if hints is None else set(hints)
+                for hints in manifest["hints"][shard]
+            ]
+            groups.append(group)
+        store = cls.from_groups(
+            groups,
+            divergence_bound=manifest["divergence_bound"],
+            read_policy=manifest["read_policy"],
+        )
+        store.directory = directory
+        return store
 
     # ------------------------------------------------------------------
     # passthroughs the serving tier relies on

@@ -23,7 +23,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.kv.common.cache import LRUCache
+from repro.kv import LRUCache
 
 
 @dataclass

@@ -46,8 +46,7 @@ import numpy as np
 from repro.core.embedding import EmbeddingTables
 from repro.core.staleness import ASP_BOUND
 from repro.errors import ConfigError, ServingError
-from repro.kv.api import KVStore
-from repro.kv.common.serialization import decode_vector
+from repro.kv import KVStore, decode_vector
 from repro.nn.tensor import Tensor
 from repro.serve.cache import AdmissionCache
 from repro.serve.telemetry import ServingTelemetry

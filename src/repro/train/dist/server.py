@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.core.embedding import EmbeddingTables
 from repro.errors import ConfigError, StalenessViolation
-from repro.kv.common.serialization import decode_vector, encode_vector
+from repro.kv import decode_vector, encode_vector
 from repro.nn.layers import Module
 from repro.nn.optim import Adam, RowAdagrad
 from repro.train.loop import TrainerConfig

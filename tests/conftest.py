@@ -1,10 +1,23 @@
-"""Shared fixtures: fresh device stacks and temp store directories."""
+"""Shared fixtures: fresh device stacks and temp store directories.
+
+Setting ``REPRO_SANITIZE=1`` installs the runtime invariant sanitizer
+(:mod:`repro.analysis.sanitize`) for the whole test run, so every suite
+doubles as a protocol check — CI runs the replication and distributed
+suites once this way.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.device import GPUModel, SimClock, SSDModel
+
+if os.environ.get("REPRO_SANITIZE") == "1":
+    from repro.analysis import enable_sanitizer
+
+    enable_sanitizer()
 
 
 @pytest.fixture

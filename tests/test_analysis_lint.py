@@ -1,0 +1,408 @@
+"""The repo linter (repro.analysis.lint): every rule proven live.
+
+Each rule gets paired fixtures — one the rule must flag, one it must
+pass, one where a ``# repro: lint-ignore[...]`` pragma suppresses the
+finding — so a rule that silently stops firing (or starts over-firing)
+breaks a test, not just CI hygiene.  The identity test at the end lints
+the real source tree and asserts it is clean: the linter gates `make
+lint`, so the repo must satisfy its own rules.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import lint_files, lint_paths, lint_source, rule_registry
+from repro.analysis.lint import main, module_name_for
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+# ----------------------------------------------------------------------
+# engine plumbing
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_registry_has_the_catalog(self):
+        names = set(rule_registry())
+        assert {"REP001", "REP002", "REP003", "REP004", "REP005"} <= names
+
+    def test_module_name_mapping(self):
+        assert module_name_for("src/repro/kv/api.py") == "repro.kv.api"
+        assert module_name_for("src/repro/serve/__init__.py") == "repro.serve"
+        assert module_name_for("tests/test_mlkv.py") is None
+        assert module_name_for("benchmarks/test_serving.py") is None
+
+    def test_unknown_rule_pragma_is_a_finding(self):
+        findings = lint_source("x = 1  # repro: lint-ignore[REP999]\n")
+        assert rules_of(findings) == ["REP000"]
+        assert "unknown rule" in findings[0].message
+
+    def test_malformed_pragma_is_a_finding(self):
+        findings = lint_source("x = 1  # repro: lint-ignore REP005 oops\n")
+        assert rules_of(findings) == ["REP000"]
+
+    def test_pragma_text_inside_a_docstring_is_inert(self):
+        findings = lint_source(
+            '"""Docs showing `# repro: lint-ignore[NOPE]` syntax."""\nx = 1\n'
+        )
+        assert findings == []
+
+    def test_cli_list_rules_and_clean_exit(self, tmp_path, capsys):
+        assert main(["--list-rules"]) == 0
+        assert "REP005" in capsys.readouterr().out
+        clean = tmp_path / "repro" / "ok.py"
+        clean.parent.mkdir()
+        clean.write_text("for x in sorted({1, 2}):\n    pass\n")
+        assert main([str(clean)]) == 0
+
+    def test_cli_exits_nonzero_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("for x in {1, 2}:\n    pass\n")
+        assert main([str(bad)]) == 1
+        assert "REP005" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# REP001 — simulated-clock purity
+# ----------------------------------------------------------------------
+class TestRep001ClockPurity:
+    def test_flags_wall_clock_and_ambient_entropy(self):
+        findings = lint_source(
+            "import os\n"
+            "import time\n"
+            "import random\n"
+            "start = time.monotonic()\n"
+            "jitter = random.random()\n"
+            "token = os.urandom(8)\n"
+        )
+        assert rules_of(findings) == ["REP001", "REP001", "REP001"]
+
+    def test_flags_from_imports_and_datetime_now(self):
+        findings = lint_source(
+            "from time import sleep\n"
+            "from datetime import datetime\n"
+            "stamp = datetime.now()\n"
+        )
+        assert rules_of(findings) == ["REP001", "REP001"]
+
+    def test_passes_simclock_and_seeded_generators(self):
+        findings = lint_source(
+            "import random\n"
+            "from repro.device.clock import SimClock\n"
+            "clock = SimClock()\n"
+            "clock.advance(1.0)\n"
+            "rng = random.Random(7)\n"
+            "value = rng.random()\n"  # method on a seeded instance
+        )
+        assert findings == []
+
+    def test_local_name_time_never_trips(self):
+        findings = lint_source("time = object()\nresult = []\n")
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = lint_source(
+            "import time\n"
+            "start = time.monotonic()  # repro: lint-ignore[REP001] host profiling\n"
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP002 — KV contract completeness
+# ----------------------------------------------------------------------
+#: Minimal in-memory stand-in for repro/kv/api.py: KVStore with the
+#: batched contract concrete but checkpoint/restore left to engines —
+#: the same shape as the real interface.
+_API_STUB = """
+from abc import ABC, abstractmethod
+
+class KVStore(ABC):
+    @abstractmethod
+    def get(self, key): ...
+    def multi_get(self, keys): ...
+    def multi_put(self, keys, values): ...
+    def snapshot_read_many(self, keys): ...
+    def multi_rmw(self, keys, update): ...
+    def freeze(self): ...
+"""
+
+_COMPLETE_ENGINE = """
+from repro.kv.api import KVStore
+
+class GoodKV(KVStore):
+    def get(self, key): ...
+    def checkpoint(self): ...
+    @classmethod
+    def restore(cls, directory, **kwargs): ...
+"""
+
+
+class TestRep002ContractCompleteness:
+    def lint(self, engine_source: str):
+        return lint_files({
+            "src/repro/kv/api.py": _API_STUB,
+            "src/repro/kv/fixture.py": engine_source,
+        })
+
+    def test_passes_complete_engine(self):
+        assert self.lint(_COMPLETE_ENGINE) == []
+
+    def test_flags_missing_contract_methods(self):
+        findings = self.lint(
+            "from repro.kv.api import KVStore\n"
+            "class BareKV(KVStore):\n"
+            "    def get(self, key): ...\n"
+        )
+        assert rules_of(findings) == ["REP002", "REP002"]
+        messages = " | ".join(finding.message for finding in findings)
+        assert "`checkpoint`" in messages and "`restore`" in messages
+
+    def test_flags_incompatible_signature(self):
+        findings = self.lint(
+            "from repro.kv.api import KVStore\n"
+            "class RenamedKV(KVStore):\n"
+            "    def get(self, key): ...\n"
+            "    def multi_get(self, ids): ...\n"
+            "    def checkpoint(self): ...\n"
+            "    @classmethod\n"
+            "    def restore(cls, directory, **kwargs): ...\n"
+        )
+        assert rules_of(findings) == ["REP002"]
+        assert "contract names it 'keys'" in findings[0].message
+
+    def test_extra_params_need_defaults(self):
+        flagged = self.lint(
+            "from repro.kv.api import KVStore\n"
+            "class StrictKV(KVStore):\n"
+            "    def get(self, key): ...\n"
+            "    def checkpoint(self, fsync): ...\n"
+            "    @classmethod\n"
+            "    def restore(cls, directory, **kwargs): ...\n"
+        )
+        assert rules_of(flagged) == ["REP002"]
+        passed = self.lint(
+            "from repro.kv.api import KVStore\n"
+            "class DefaultedKV(KVStore):\n"
+            "    def get(self, key): ...\n"
+            "    def checkpoint(self, fsync=True): ...\n"
+            "    @classmethod\n"
+            "    def restore(cls, directory, **kwargs): ...\n"
+        )
+        assert passed == []
+
+    def test_concrete_inheritance_satisfies_the_contract(self):
+        findings = lint_files({
+            "src/repro/kv/api.py": _API_STUB,
+            "src/repro/kv/base.py": _COMPLETE_ENGINE,
+            "src/repro/kv/child.py": (
+                "from repro.kv.base import GoodKV\n"
+                "class TunedKV(GoodKV):\n"
+                "    def get(self, key): ...\n"
+            ),
+        })
+        assert findings == []
+
+    def test_abstract_intermediaries_are_skipped(self):
+        findings = self.lint(
+            "from abc import abstractmethod\n"
+            "from repro.kv.api import KVStore\n"
+            "class PartialKV(KVStore):\n"
+            "    @abstractmethod\n"
+            "    def flush(self): ...\n"
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = self.lint(
+            "from repro.kv.api import KVStore\n"
+            "class MemoKV(KVStore):  # repro: lint-ignore[REP002] in-memory only\n"
+            "    def get(self, key): ...\n"
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP003 — storage layering
+# ----------------------------------------------------------------------
+class TestRep003Layering:
+    def test_flags_serve_importing_engine_internals(self):
+        findings = lint_source(
+            "from repro.kv.lsm import LSMStore\n",
+            path="src/repro/serve/fixture.py",
+        )
+        assert rules_of(findings) == ["REP003"]
+
+    def test_flags_submodule_import_from_facade(self):
+        findings = lint_source(
+            "from repro.kv import faster\n",
+            path="src/repro/train/dist/fixture.py",
+        )
+        assert rules_of(findings) == ["REP003"]
+
+    def test_passes_facade_public_names(self):
+        findings = lint_source(
+            "from repro.kv import KVStore, ReplicatedKVStore, decode_vector\n",
+            path="src/repro/serve/fixture.py",
+        )
+        assert findings == []
+
+    def test_core_must_not_import_serve(self):
+        findings = lint_source(
+            "from repro.serve.server import EmbeddingServer\n",
+            path="src/repro/core/fixture.py",
+        )
+        assert rules_of(findings) == ["REP003"]
+
+    def test_lower_layers_may_import_engines(self):
+        # core/ composes engines directly (Open() builds them); only the
+        # serving/distributed layers are facade-bound.
+        findings = lint_source(
+            "from repro.kv.faster import FasterKV\n",
+            path="src/repro/core/fixture.py",
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = lint_source(
+            "from repro.kv.lsm import LSMStore"
+            "  # repro: lint-ignore[REP003] perf experiment\n",
+            path="src/repro/serve/fixture.py",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP004 — no swallowed broad exceptions in crash-safety-critical code
+# ----------------------------------------------------------------------
+class TestRep004SwallowedExceptions:
+    PATH = "src/repro/kv/fixture.py"
+
+    def test_flags_swallowed_exception(self):
+        findings = lint_source(
+            "def flush(wal):\n"
+            "    try:\n"
+            "        wal.sync()\n"
+            "    except Exception:\n"
+            "        pass\n",
+            path=self.PATH,
+        )
+        assert rules_of(findings) == ["REP004"]
+
+    def test_flags_bare_except(self):
+        findings = lint_source(
+            "try:\n    work()\nexcept:\n    pass\n", path=self.PATH
+        )
+        assert rules_of(findings) == ["REP004"]
+
+    def test_reraise_passes(self):
+        findings = lint_source(
+            "def flush(wal, log):\n"
+            "    try:\n"
+            "        wal.sync()\n"
+            "    except Exception as error:\n"
+            "        log.error(error)\n"
+            "        raise\n",
+            path=self.PATH,
+        )
+        assert findings == []
+
+    def test_specific_exceptions_pass(self):
+        findings = lint_source(
+            "def probe(path):\n"
+            "    try:\n"
+            "        return open(path)\n"
+            "    except FileNotFoundError:\n"
+            "        return None\n",
+            path=self.PATH,
+        )
+        assert findings == []
+
+    def test_out_of_scope_modules_are_not_checked(self):
+        findings = lint_source(
+            "try:\n    work()\nexcept Exception:\n    pass\n",
+            path="src/repro/serve/fixture.py",
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = lint_source(
+            "try:\n"
+            "    work()\n"
+            "except Exception:  # repro: lint-ignore[REP004] best-effort stats\n"
+            "    pass\n",
+            path=self.PATH,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP005 — no iteration over set values
+# ----------------------------------------------------------------------
+class TestRep005SetIteration:
+    def test_flags_for_loop_over_set(self):
+        findings = lint_source("for key in {1, 2}:\n    print(key)\n")
+        assert rules_of(findings) == ["REP005"]
+
+    def test_flags_comprehension_and_materialization(self):
+        # The rule is syntactic: it recognizes set *expressions* (display
+        # literals, set()/frozenset() calls, set methods, set-algebra
+        # binops), not variables that happen to hold sets.
+        findings = lint_source(
+            "hints = set()\n"
+            "replay = [k for k in set(range(3))]\n"
+            "order = list(hints & {1, 2})\n"
+        )
+        assert rules_of(findings) == ["REP005", "REP005"]
+
+    def test_flags_set_method_results(self):
+        findings = lint_source(
+            "a = set()\nb = set()\nfor k in a.intersection(b):\n    print(k)\n"
+        )
+        assert rules_of(findings) == ["REP005"]
+
+    def test_sorted_set_passes(self):
+        findings = lint_source(
+            "hints = set()\n"
+            "for key in sorted(hints):\n"
+            "    print(key)\n"
+            "ordered = sorted(hints | {3})\n"
+        )
+        assert findings == []
+
+    def test_membership_and_len_pass(self):
+        findings = lint_source(
+            "seen = {1, 2}\nhit = 1 in seen\ncount = len(seen)\n"
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        flagged = lint_source("total = sum(1 for k in set(range(4)))\n")
+        assert rules_of(flagged) == ["REP005"]
+        findings = lint_source(
+            "total = sum(1 for k in set(range(4)))"
+            "  # repro: lint-ignore[REP005] order-free reduction\n"
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# identity: the repo satisfies its own linter
+# ----------------------------------------------------------------------
+class TestRepoIsClean:
+    def test_source_tree_has_no_findings(self):
+        findings = lint_paths([str(REPO_ROOT / "src")])
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_test_and_bench_trees_have_no_findings(self):
+        findings = lint_paths([
+            str(REPO_ROOT / "tests"),
+            str(REPO_ROOT / "benchmarks"),
+            str(REPO_ROOT / "examples"),
+        ])
+        assert findings == [], "\n".join(f.format() for f in findings)

@@ -79,7 +79,7 @@ def make_stack(root, kind="faster", gpu_flops=5e9, shards=2, replication=2):
 
 
 def dlrm_config(**overrides):
-    defaults = dict(batch_size=16, seed=SEED)
+    defaults = {"batch_size": 16, "seed": SEED}
     defaults.update(overrides)
     return TrainerConfig(**defaults)
 

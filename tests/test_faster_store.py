@@ -12,7 +12,7 @@ from repro.kv.faster import FasterKV
 
 
 def small_store(path, **kwargs):
-    defaults = dict(memory_budget_bytes=1 << 14, page_bytes=1 << 12)
+    defaults = {"memory_budget_bytes": 1 << 14, "page_bytes": 1 << 12}
     defaults.update(kwargs)
     return FasterKV(str(path), **defaults)
 

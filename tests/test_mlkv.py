@@ -8,7 +8,7 @@ from repro.errors import StalenessViolation
 
 
 def make_store(path, bound=ASP_BOUND, **kwargs):
-    defaults = dict(memory_budget_bytes=1 << 14, page_bytes=1 << 12)
+    defaults = {"memory_budget_bytes": 1 << 14, "page_bytes": 1 << 12}
     defaults.update(kwargs)
     return MLKV(str(path), staleness_bound=bound, **defaults)
 

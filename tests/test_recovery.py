@@ -25,7 +25,7 @@ from repro.kv.sharded import ShardedKVStore
 
 ENGINES = ["faster", "mlkv", "lsm", "btree", "sharded"]
 
-_SMALL = dict(memory_budget_bytes=1 << 16)
+_SMALL = {"memory_budget_bytes": 1 << 16}
 
 
 def build_store(kind: str, directory: str):

@@ -14,7 +14,7 @@ import pytest
 
 from repro.core.mlkv import MLKV
 from repro.device import ReplicaVersionClock, SimClock, SSDModel
-from repro.errors import ConfigError, StorageError
+from repro.errors import CheckpointError, ConfigError, StorageError
 from repro.kv import ReplicatedKVStore, ShardedKVStore
 from repro.kv.btree import BTreeKV
 from repro.kv.faster import FasterKV
@@ -379,7 +379,9 @@ class TestServingSurface:
 class TestLiveSplit:
     """split_shard / migrate_shard: copy-then-cutover, no lost mappings."""
 
-    def _make(self, kind, tmp_path, counter=[0]):
+    def _make(self, kind, tmp_path):
+        counter = [0]
+
         def factory(index):
             counter[0] += 1
             return make_engine(kind, str(tmp_path / f"{kind}{counter[0]}-{index}"))
@@ -548,3 +550,116 @@ class TestLiveSplit:
         store.revive_replica(0, 0)
         assert store.replica_lag(0, 0) == 0
         store.close()
+
+
+class TestCoordinatedCheckpoint:
+    """Replicated checkpoint/restore: one manifest binds every replica
+    image plus the group state a restore cannot rediscover."""
+
+    def _build(self, base, ssd, bound=1):
+        return ReplicatedKVStore(
+            lambda shard, replica: FasterKV(
+                str(base / f"s{shard}r{replica}"), ssd=ssd
+            ),
+            num_shards=2,
+            replication=2,
+            divergence_bound=bound,
+            directory=str(base),
+        )
+
+    def test_round_trip_preserves_data_and_group_state(self, tmp_path, ssd):
+        store = self._build(tmp_path, ssd)
+        keys = list(range(80))
+        store.multi_put(keys, [bytes([k % 251]) * 6 for k in keys])
+        store.fail_replica(0, 1)
+        store.put(1000, b"hinted")  # queues a hint against the dead replica
+        store.checkpoint()
+        assert (tmp_path / "replicated.manifest.json").exists()
+        store.close()
+
+        restored = ReplicatedKVStore.restore(
+            str(tmp_path), ssd=SSDModel(SimClock())
+        )
+        assert restored.num_shards == 2 and restored.replication == 2
+        assert restored.divergence_bound == 1
+        assert restored.directory == str(tmp_path)
+        for k in keys:
+            assert restored.get(k) == bytes([k % 251]) * 6
+        assert restored.get(1000) == b"hinted"
+        # Liveness, clocks and hint queues survived: the dead replica is
+        # still dead, still lagging, and its hinted keys replay on revive.
+        group = restored.groups[0]
+        assert group.alive == [True, False]
+        assert group.clock.lag(1) > 0
+        assert group.hints_outstanding(1) >= 1
+        replayed = restored.revive_replica(0, 1)
+        assert replayed >= 1
+        assert group.clock.lag(1) == 0
+        restored.close()
+
+    def test_restore_via_factory(self, tmp_path, ssd):
+        store = self._build(tmp_path, ssd)
+        store.multi_put(list(range(40)), [b"v"] * 40)
+        store.checkpoint()
+        store.close()
+
+        opened = []
+        fresh = SSDModel(SimClock())
+
+        def factory(shard, replica, directory):
+            opened.append((shard, replica))
+            return FasterKV.restore(directory, ssd=fresh)
+
+        restored = ReplicatedKVStore.restore(str(tmp_path), factory=factory)
+        assert sorted(opened) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        assert restored.multi_get(list(range(40))) == [b"v"] * 40
+        restored.close()
+
+    def test_checkpoint_without_directory_skips_manifest(self, tmp_path, ssd):
+        store = ReplicatedKVStore(
+            lambda shard, replica: FasterKV(
+                str(tmp_path / f"s{shard}r{replica}"), ssd=ssd
+            ),
+            num_shards=1,
+            replication=2,
+        )
+        store.put(1, b"a")
+        store.checkpoint()  # per-replica images only, no manifest
+        assert not (tmp_path / "replicated.manifest.json").exists()
+        store.close()
+
+    def test_replica_outside_base_is_rejected(self, tmp_path, ssd):
+        outside = tmp_path / "elsewhere"
+        base = tmp_path / "base"
+        base.mkdir()
+        store = ReplicatedKVStore(
+            lambda shard, replica: FasterKV(
+                str(outside / f"s{shard}r{replica}"), ssd=ssd
+            ),
+            num_shards=1,
+            replication=2,
+            directory=str(base),
+        )
+        store.put(1, b"a")
+        with pytest.raises(CheckpointError):
+            store.checkpoint()
+        store.close()
+
+    def test_cloud_upload_round_trip(self, tmp_path, ssd):
+        """The coordinated image uploads/restores through the
+        content-addressed CloudCheckpointer like any other engine."""
+        from repro.core.checkpoint import CloudCheckpointer
+
+        base = tmp_path / "image"
+        base.mkdir()
+        store = self._build(base, ssd)
+        store.multi_put(list(range(50)), [b"cloud"] * 50)
+        uploader = CloudCheckpointer(store, str(tmp_path / "bucket"))
+        assert uploader.checkpoint() == 1
+        store.close()
+
+        restored = uploader.restore(
+            str(tmp_path / "downloaded"), ssd=SSDModel(SimClock())
+        )
+        assert restored.multi_get(list(range(50))) == [b"cloud"] * 50
+        restored.close()
