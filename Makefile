@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-recovery test-dist test-sanitize serve-smoke bench bench-smoke bench-gate lint typecheck analyze
+.PHONY: test test-recovery test-dist test-sanitize serve-smoke bench bench-smoke bench-gate bench-wallclock lint typecheck analyze
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,26 +32,35 @@ bench:
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/test_fig10_ycsb.py benchmarks/test_sharded_batched.py benchmarks/test_replicated.py -q
 
+# Real-time (wall-clock) hot-path bench on its own: vectorized
+# gather/scatter vs the per-row reference loops, arena optimizers,
+# batch record codec, and process-parallel shard fan-out.  Emits
+# BENCH_wallclock.json tagged clock="wall" so the gate applies the
+# wider wall tolerance to it.
+bench-wallclock:
+	$(PYTHON) -m pytest benchmarks/test_wallclock.py -q
+
 # Perf-trajectory gate: snapshot the committed BENCH_*.json baselines,
 # re-run every BENCH-emitting bench (fresh files land at the repo root),
-# and fail on any key metric >30% worse than its baseline.  All compared
-# numbers run on the simulated clock, so the gate is deterministic.  The
-# .gate-start marker keeps the gate honest: a committed baseline the run
-# did not re-emit is reported as "not gated" instead of self-comparing
-# as "ok".
+# and fail on any key metric >30% worse than its baseline.  Sim-clock
+# numbers are deterministic; the wall-clock bench is tagged
+# clock="wall" in its payload and gated at the wider --wall-tolerance
+# (machine noise is real there).  The .gate-start marker keeps the gate
+# honest: a committed baseline the run did not re-emit is reported as
+# "not gated" instead of self-comparing as "ok".
 bench-gate:
 	rm -rf results/baselines && mkdir -p results/baselines
 	cp BENCH_*.json results/baselines/
 	touch results/baselines/.gate-start
-	$(PYTHON) -m pytest benchmarks/test_sharded_batched.py benchmarks/test_serving.py benchmarks/test_replicated.py benchmarks/test_dist_scaling.py -q
-	$(PYTHON) benchmarks/compare.py --baseline results/baselines --fresh . --tolerance 0.30 --since results/baselines/.gate-start
+	$(PYTHON) -m pytest benchmarks/test_sharded_batched.py benchmarks/test_serving.py benchmarks/test_replicated.py benchmarks/test_dist_scaling.py benchmarks/test_wallclock.py -q
+	$(PYTHON) benchmarks/compare.py --baseline results/baselines --fresh . --tolerance 0.30 --wall-tolerance 0.60 --since results/baselines/.gate-start
 
 # Replication + distributed suites once more under the runtime invariant
 # sanitizer (repro.analysis.sanitize): every protocol transition is
 # checked live, so a lost update or stale-read bug fails loudly with an
 # event trace instead of as a silent convergence drift.
 test-sanitize:
-	REPRO_SANITIZE=1 $(PYTHON) -m pytest tests/test_replication.py tests/test_distributed.py tests/test_analysis_sanitize.py -q
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest tests/test_replication.py tests/test_distributed.py tests/test_analysis_sanitize.py tests/test_parallel.py -q
 
 # Prefer ruff (fast, wider net) when present; fall back to pyflakes,
 # then to the always-available compileall syntax check.  The repo's own

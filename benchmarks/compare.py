@@ -6,10 +6,14 @@ re-runs the emitting benches, and calls this module to compare the fresh
 metrics against the snapshot.  A headline metric that moved more than the
 tolerance (default 30%) in its *bad* direction fails the gate.
 
-Every benchmark here runs on the simulated clock, so the compared
-numbers are deterministic and machine-independent — the gate catches
-real regressions (an algorithmic change that costs simulated time or
-throughput), not CI-runner noise.
+Most benchmarks run on the simulated clock, so the compared numbers are
+deterministic and machine-independent — the gate catches real
+regressions (an algorithmic change that costs simulated time or
+throughput), not CI-runner noise.  Benches tagged ``"clock": "wall"``
+in their payload carry real wall-clock measurements instead; those gate
+at the much wider ``--wall-tolerance`` (default 60%), which only trips
+on order-of-magnitude collapses — e.g. a vectorized path silently
+falling back to its per-key loop — never on runner jitter.
 
 Direction is inferred from the metric name (``*_rps``, ``throughput*``,
 ``speedup*`` are higher-better; ``*p99*``, ``*p50*``, ``*latency*``,
@@ -37,6 +41,9 @@ LOWER_BETTER = ("p99", "p50", "p95", "latency", "seconds", "_us", "joules", "sta
 
 #: Default allowed relative regression before the gate fails.
 DEFAULT_TOLERANCE = 0.30
+
+#: Default tolerance for benches whose payload says ``"clock": "wall"``.
+DEFAULT_WALL_TOLERANCE = 0.60
 
 
 def direction(metric: str) -> str:
@@ -123,6 +130,7 @@ def compare_roots(
     fresh_root: str,
     tolerance: float = DEFAULT_TOLERANCE,
     since: float | None = None,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
 ) -> tuple[list[dict], list[str]]:
     """Compare every baseline ``BENCH_*.json`` against its fresh sibling.
 
@@ -133,6 +141,11 @@ def compare_roots(
     re-emit is still sitting there and would compare "ok" against its
     own copy — with ``since`` set, such stale files are skipped with a
     note instead of counted as checked.
+
+    Per bench, the tolerance follows the *baseline* payload's ``clock``
+    tag (absent means ``"sim"``): wall-clock benches use
+    ``wall_tolerance``, everything else ``tolerance``.  The baseline's
+    tag decides so a fresh payload cannot relax its own gate.
     """
     results: list[dict] = []
     notes: list[str] = []
@@ -153,9 +166,13 @@ def compare_roots(
             continue
         baseline = _load(path)
         fresh = _load(fresh_path)
+        clock = baseline.get("clock", "sim")
+        bench_tolerance = wall_tolerance if clock == "wall" else tolerance
         results.append({
             "bench": baseline.get("bench", name),
-            "findings": compare_payloads(baseline, fresh, tolerance),
+            "clock": clock,
+            "tolerance": bench_tolerance,
+            "findings": compare_payloads(baseline, fresh, bench_tolerance),
         })
     return results, notes
 
@@ -176,7 +193,13 @@ def render(results: list[dict], notes: list[str], tolerance: float) -> str:
     for note in notes:
         lines.append(f"  note: {note}")
     for result in results:
-        lines.append(f"bench {result['bench']}:")
+        if result.get("clock") == "wall":
+            lines.append(
+                f"bench {result['bench']} (wall clock, tolerance "
+                f"{result['tolerance']:.0%}):"
+            )
+        else:
+            lines.append(f"bench {result['bench']}:")
         for finding in result["findings"]:
             status = finding["status"]
             metric = finding["metric"]
@@ -207,6 +230,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="directory the gated bench run emitted into")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="allowed relative regression (default 0.30)")
+    parser.add_argument("--wall-tolerance", type=float,
+                        default=DEFAULT_WALL_TOLERANCE,
+                        help="allowed relative regression for benches whose "
+                             "baseline payload is tagged clock=wall "
+                             "(default 0.60)")
     parser.add_argument("--since", default=None,
                         help="marker file: only gate fresh files modified "
                              "after it (guards against a committed baseline "
@@ -214,18 +242,23 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if not 0 <= args.tolerance < 1:
         parser.error(f"tolerance must be in [0, 1), got {args.tolerance}")
+    if not 0 <= args.wall_tolerance < 1:
+        parser.error(
+            f"wall-tolerance must be in [0, 1), got {args.wall_tolerance}"
+        )
     since = None
     if args.since is not None:
         if not os.path.exists(args.since):
             parser.error(f"--since marker {args.since} does not exist")
         since = os.path.getmtime(args.since)
     results, notes = compare_roots(args.baseline, args.fresh, args.tolerance,
-                                   since=since)
+                                   since=since,
+                                   wall_tolerance=args.wall_tolerance)
     print(render(results, notes, args.tolerance))
     failed = regressions(results)
     if failed:
-        print(f"\nFAIL: {len(failed)} metric(s) regressed beyond "
-              f"{args.tolerance:.0%}:")
+        print(f"\nFAIL: {len(failed)} metric(s) regressed beyond their "
+              "bench's tolerance:")
         for finding in failed:
             print(f"  {finding['bench']}.{finding['metric']}")
         return 1

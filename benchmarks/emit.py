@@ -10,10 +10,16 @@ Each emitted file is self-describing::
     {
       "bench": "<name>",
       "schema": 1,
+      "clock": "sim",     # "sim" (deterministic) or "wall" (real time)
       "metrics": {...},   # flat name -> number headline metrics
       "rows": [...],      # optional detail rows (same dicts as report())
       "meta": {...}       # optional workload description
     }
+
+The ``clock`` tag tells the perf gate how much to trust the numbers:
+``"sim"`` metrics are deterministic and gate at the tight default
+tolerance, ``"wall"`` metrics are real measurements on a shared runner
+and gate at the wide wall tolerance (see ``compare.py``).
 
 Files land at the repository root so the perf history is one glob
 (``BENCH_*.json``) regardless of how many benches emit.
@@ -36,15 +42,20 @@ def emit(
     rows: list[dict] | None = None,
     meta: dict | None = None,
     root: str | None = None,
+    clock: str = "sim",
 ) -> str:
     """Write ``BENCH_<name>.json``; returns the path written.
 
     ``metrics`` must be a flat mapping of metric name to number — the
     values a perf-trajectory diff compares.  ``rows``/``meta`` carry the
-    supporting detail.
+    supporting detail.  ``clock`` declares the metric class: ``"sim"``
+    for simulated-clock numbers (deterministic), ``"wall"`` for real
+    wall-clock measurements (gated with a wider tolerance).
     """
     if not name or any(ch in name for ch in "/\\"):
         raise ValueError(f"bench name must be a bare identifier, got {name!r}")
+    if clock not in ("sim", "wall"):
+        raise ValueError(f"clock must be 'sim' or 'wall', got {clock!r}")
     for key, value in metrics.items():
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             raise ValueError(
@@ -53,6 +64,7 @@ def emit(
     payload = {
         "bench": name,
         "schema": SCHEMA_VERSION,
+        "clock": clock,
         "metrics": metrics,
     }
     if rows is not None:

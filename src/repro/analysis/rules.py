@@ -17,6 +17,7 @@ REP005  no iteration over set values (replay/fan-out nondeterminism).
 from __future__ import annotations
 
 import ast
+from pathlib import PurePath
 from typing import Iterable, Iterator, Optional
 
 from repro.analysis.lint import Finding, LintRule, SourceFile, register
@@ -36,16 +37,41 @@ _DATETIME_FUNCS = {"now", "utcnow", "today"}
 #: an explicitly seeded generator instance.
 _RANDOM_ALLOWED = {"Random"}
 
+#: The bench scope's wall-clock allowlist: real-time *measurement* needs
+#: ``perf_counter``; everything else (``time.time``, ``monotonic``,
+#: ``sleep``, ...) stays banned even there — a bench that sleeps or
+#: reads calendar time is either flaky or lying about the timeline.
+_BENCH_WALL_ALLOWED = {"perf_counter", "perf_counter_ns"}
+
+
+def _bench_scope(source: SourceFile) -> bool:
+    """Whether ``source`` belongs to the wall-clock-measuring bench tier:
+    the ``repro.bench`` package or a file under ``benchmarks/``."""
+    if source.module is not None and source.module.startswith("repro.bench"):
+        return True
+    return "benchmarks" in PurePath(source.path).parts
+
 
 @register
 class SimulatedClockPurity(LintRule):
     name = "REP001"
     summary = (
         "no wall-clock or ambient entropy in simulated components "
-        "(use SimClock timelines and seeded random.Random)"
+        "(use SimClock timelines and seeded random.Random); the bench "
+        "tier may use time.perf_counter for real-time measurement"
     )
 
+    def applies(self, module: Optional[str]) -> bool:
+        # Unlike the other rules this one also accepts module-less files,
+        # so the wall-clock discipline covers ``benchmarks/``; check()
+        # skips module-less files outside that tree itself.
+        return super().applies(module) or module is None
+
     def check(self, source: SourceFile) -> Iterator[Finding]:
+        bench = _bench_scope(source)
+        if source.module is None and not bench:
+            return  # tests/examples: out of scope, as before
+        allowed = _BENCH_WALL_ALLOWED if bench else frozenset()
         # Aliases under which the banned modules are imported here; a
         # local variable merely *named* ``time`` never trips the rule.
         time_aliases: set[str] = set()
@@ -64,7 +90,7 @@ class SimulatedClockPurity(LintRule):
             elif isinstance(node, ast.ImportFrom) and node.level == 0:
                 if node.module == "time":
                     for alias in node.names:
-                        if alias.name in _WALL_CLOCK_FUNCS:
+                        if alias.name in _WALL_CLOCK_FUNCS - allowed:
                             yield source.finding(
                                 self.name, node,
                                 f"wall-clock import `time.{alias.name}`: simulated "
@@ -88,7 +114,7 @@ class SimulatedClockPurity(LintRule):
             func = node.func
             base = func.value
             if isinstance(base, ast.Name):
-                if base.id in time_aliases and func.attr in _WALL_CLOCK_FUNCS:
+                if base.id in time_aliases and func.attr in _WALL_CLOCK_FUNCS - allowed:
                     yield source.finding(
                         self.name, node,
                         f"wall-clock call `{base.id}.{func.attr}()`: simulated "

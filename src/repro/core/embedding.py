@@ -20,7 +20,7 @@ import numpy as np
 from repro.errors import ConfigError, StalenessViolation
 from repro.kv.api import KVStore
 from repro.kv.common.cache import LRUCache
-from repro.kv.common.serialization import decode_vector, encode_vector
+from repro.kv.common.serialization import decode_vectors, encode_vectors
 
 
 #: Dataloader worker threads issuing conventional (synchronous-API)
@@ -95,16 +95,15 @@ class EmbeddingTables:
         gathered = np.empty((unique.shape[0], self.dim), dtype=np.float32)
         fetch_rows: list[int] = []
         fetch_keys: list[int] = []
-        for i, key in enumerate(unique):
-            vector = self._consume_cached(int(key))
+        for i, key in enumerate(unique.tolist()):
+            vector = self._consume_cached(key)
             if vector is not None:
                 gathered[i] = vector
             else:
                 fetch_rows.append(i)
-                fetch_keys.append(int(key))
+                fetch_keys.append(key)
         if fetch_keys:
-            for i, vector in zip(fetch_rows, self._fetch_many(fetch_keys)):
-                gathered[i] = vector
+            gathered[fetch_rows] = self._fetch_many(fetch_keys)
         return gathered[inverse].reshape(*keys.shape, self.dim)
 
     def _consume_cached(self, key: int) -> Optional[np.ndarray]:
@@ -129,24 +128,24 @@ class EmbeddingTables:
     def _fetch_one(self, key: int) -> np.ndarray:
         return self._fetch_many([key])[0]
 
-    def _fetch_many(self, keys: list[int]) -> list[np.ndarray]:
+    def _fetch_many(self, keys: list[int]) -> np.ndarray:
         """One batched store read; unseen keys initialize and write back.
 
-        Newly initialized keys are inserted with one ``multi_put`` and
-        re-read with a second ``multi_get`` so their admissions are
-        counted by the store's Get protocol, exactly like the per-key
-        path did.
+        Returns a ``(len(keys), dim)`` float32 matrix.  Newly initialized
+        keys are inserted with one ``multi_put`` and re-read with a second
+        ``multi_get`` so their admissions are counted by the store's Get
+        protocol, exactly like the per-key path did.  The whole batch
+        moves through the batch codec: one encode buffer for the
+        initialization write-back, one vectorized decode for the result.
         """
         raws = self.store.multi_get(keys)
         missing = [key for key, raw in zip(keys, raws) if raw is None]
         if missing:
-            self.store.multi_put(
-                missing,
-                [encode_vector(self._init_vector(key)) for key in missing],
-            )
+            init_rows = np.stack([self._init_vector(key) for key in missing])
+            self.store.multi_put(missing, encode_vectors(init_rows))
             refreshed = iter(self.store.multi_get(missing))
             raws = [raw if raw is not None else next(refreshed) for raw in raws]
-        return [decode_vector(raw, dim=self.dim) for raw in raws]
+        return decode_vectors(raws, dim=self.dim)
 
     def put(self, keys, values: np.ndarray) -> None:
         """Write updated vectors back (backward-pass path).
@@ -158,17 +157,16 @@ class EmbeddingTables:
         values = np.asarray(values, dtype=np.float32).reshape(-1, self.dim)
         if keys.shape[0] != values.shape[0]:
             raise ConfigError("put requires one vector per key")
-        seen: dict[int, np.ndarray] = {}
-        for key, vector in zip(keys, values):
-            seen[int(key)] = vector
-        self.store.multi_put(
-            list(seen), [encode_vector(vector) for vector in seen.values()]
-        )
-        for key, vector in seen.items():
+        # Last-duplicate-wins dedup, vectorized: unique over the reversed
+        # keys makes each key's *first* hit its last original occurrence.
+        unique, rev_index = np.unique(keys[::-1], return_index=True)
+        rows = values[keys.shape[0] - 1 - rev_index]
+        self.store.multi_put(unique.tolist(), encode_vectors(rows))
+        for i, key in enumerate(unique.tolist()):
             entry = self.cache.peek(key)
             if entry is not None:
                 # Keep an un-consumed prefetched entry fresh.
-                entry[0] = vector.copy()
+                entry[0] = rows[i].copy()
 
     def lookahead(self, keys, dest: str = "buffer") -> int:
         """Non-blocking prefetch of future ``keys`` (paper §III-C2).
@@ -185,7 +183,7 @@ class EmbeddingTables:
             engine = getattr(self.store, "lookahead", None)
             if engine is None:
                 return 0  # plain KV stores have no in-store prefetch path
-            return engine([int(k) for k in keys])
+            return engine(keys.tolist())
         if dest == "cache":
             moved = 0
             ssd = getattr(self.store, "ssd", None)
@@ -228,14 +226,20 @@ class EmbeddingTables:
         unique, inverse = np.unique(keys, return_inverse=True)
         # Every store exposes batched committed reads: stores with an
         # admission protocol map them to their bypass path, for plain
-        # engines multi_get already is the committed read.
-        raws = self.store.snapshot_read_many([int(key) for key in unique])
+        # engines multi_get already is the committed read.  ``tolist``
+        # marshals the whole key array to Python ints in one C-level pass
+        # (works for any integer dtype) instead of per-element ``int()``.
+        raws = self.store.snapshot_read_many(unique.tolist())
         gathered = np.empty((unique.shape[0], self.dim), dtype=np.float32)
-        for i, (key, raw) in enumerate(zip(unique, raws)):
+        unique_keys = unique.tolist()
+        hit_rows = [i for i, raw in enumerate(raws) if raw is not None]
+        for i, raw in enumerate(raws):
             if raw is None:
-                gathered[i] = self._init_vector(int(key))
-            else:
-                gathered[i] = decode_vector(raw, dim=self.dim)
+                gathered[i] = self._init_vector(unique_keys[i])
+        if hit_rows:
+            gathered[hit_rows] = decode_vectors(
+                [raws[i] for i in hit_rows], dim=self.dim
+            )
         return gathered[inverse].reshape(*keys.shape, self.dim)
 
     # ------------------------------------------------------------------

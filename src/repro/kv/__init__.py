@@ -19,11 +19,17 @@ with genuinely batched hot paths (one epoch acquisition, WAL group
 commits, single leaf walks).  :mod:`repro.kv.replicated` stacks N-way
 replica groups on top for availability: synchronous write fan-out,
 divergence-bounded read routing, failover with hinted catch-up.
+:mod:`repro.kv.parallel` is the wall-clock variant of the sharded
+wrapper: the same routing, but each shard's engine lives in a forked
+worker process so batched fan-out uses real cores
+(:func:`~repro.kv.parallel.create_sharded_store` picks parallel or
+serial automatically).
 """
 
 from repro.kv.api import CheckpointManager, KVStore, StoreStats
 from repro.kv.common.cache import ClockCache, LRUCache
 from repro.kv.common.serialization import decode_vector, encode_vector
+from repro.kv.parallel import ParallelShardStore, create_sharded_store
 from repro.kv.replicated import ReplicaGroup, ReplicatedKVStore
 from repro.kv.sharded import ShardedKVStore, ShardMigration, shard_hash
 
@@ -35,11 +41,13 @@ __all__ = [
     "ClockCache",
     "KVStore",
     "LRUCache",
+    "ParallelShardStore",
     "ReplicaGroup",
     "ReplicatedKVStore",
     "ShardMigration",
     "ShardedKVStore",
     "StoreStats",
+    "create_sharded_store",
     "decode_vector",
     "encode_vector",
     "shard_hash",

@@ -37,6 +37,7 @@ from repro.kv.faster.record import (
     RecordWord,
     decode_record_header,
     encode_record_header,
+    encode_record_header_into,
 )
 from repro.errors import StorageError
 
@@ -122,8 +123,9 @@ class HybridLog:
             page = bytearray(self.page_bytes)
             self._pages[page_no] = page
         offset = self._page_offset(address)
-        header = encode_record_header(word, key, len(value) if value is not None else 0)
-        page[offset : offset + RECORD_HEADER_BYTES] = header
+        encode_record_header_into(
+            page, offset, word, key, len(value) if value is not None else 0
+        )
         if value:
             page[offset + RECORD_HEADER_BYTES : offset + record_len] = value
         self.tail_address += record_len

@@ -113,6 +113,19 @@ def encode_record_header(word: int, key: int, value_len: int) -> bytes:
     return _WORD.pack(word) + _KEYLEN.pack(key, value_len)
 
 
+def encode_record_header_into(
+    buffer: bytearray, offset: int, word: int, key: int, value_len: int
+) -> None:
+    """Pack the fixed header directly into ``buffer`` at ``offset``.
+
+    The zero-allocation twin of :func:`encode_record_header`: the append
+    hot path writes headers straight into the log page instead of
+    materializing an intermediate ``bytes`` per record.
+    """
+    _WORD.pack_into(buffer, offset, word)
+    _KEYLEN.pack_into(buffer, offset + _WORD.size, key, value_len)
+
+
 def decode_record_header(buffer, offset: int = 0) -> tuple[int, int, int]:
     """Decode the fixed header; returns ``(word, key, value_len)``."""
     word = _WORD.unpack_from(buffer, offset)[0]

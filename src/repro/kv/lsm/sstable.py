@@ -101,16 +101,21 @@ class SSTable:
                 block_first = None
 
             for key, value in items:
-                encoded = (
-                    _ENTRY.pack(key, TOMBSTONE)
-                    if value is None
-                    else _ENTRY.pack(key, len(value)) + value
+                # Values may be any buffer (bytes or a memoryview from the
+                # batch codec), so grow the block with += instead of
+                # bytes-concatenating header and value.
+                entry_len = (
+                    _ENTRY.size if value is None else _ENTRY.size + len(value)
                 )
-                if block and len(block) + len(encoded) > block_bytes:
+                if block and len(block) + entry_len > block_bytes:
                     _flush_block()
                 if block_first is None:
                     block_first = key
-                block += encoded
+                if value is None:
+                    block += _ENTRY.pack(key, TOMBSTONE)
+                else:
+                    block += _ENTRY.pack(key, len(value))
+                    block += value
                 entries += 1
                 keys_for_bloom.append(key)
                 min_key = key if min_key is None else min(min_key, key)

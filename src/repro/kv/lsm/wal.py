@@ -14,7 +14,12 @@ import struct
 from typing import Iterator, Optional
 
 from repro.device.ssd import SSDModel
-from repro.kv.common.serialization import decode_record, encode_record, record_size
+from repro.kv.common.serialization import (
+    RECORD_HEADER,
+    decode_record,
+    encode_record,
+    record_size,
+)
 
 _OP_PUT = 0x01
 _OP_DELETE = 0x02
@@ -54,13 +59,27 @@ class WriteAheadLog:
         Per-record framing is identical to :meth:`append_put` (replay
         needs no changes), but the whole batch counts as a single pending
         commit, so one sync — one sequential write — covers all of it.
+        The payload is rendered into one preallocated buffer with
+        ``pack_into`` — O(1) allocations per batch, not O(n).
         """
-        payload = bytearray()
-        for key, value in items:
-            payload += _TAG.pack(_OP_PUT)
-            payload += encode_record(key, value)
-        if not payload:
+        items = list(items)
+        if not items:
             return
+        size = sum(
+            _TAG.size + _REC_HEADER_SIZE + len(value) for _, value in items
+        )
+        payload = bytearray(size)
+        pack_header = RECORD_HEADER.pack_into
+        cursor = 0
+        for key, value in items:
+            if key < 0:
+                raise ValueError("keys must be non-negative integers")
+            payload[cursor] = _OP_PUT
+            length = len(value)
+            pack_header(payload, cursor + _TAG.size, key, length)
+            cursor += _TAG.size + _REC_HEADER_SIZE
+            payload[cursor : cursor + length] = value
+            cursor += length
         self._file.write(payload)
         self._pending += 1
         self._pending_bytes += len(payload)

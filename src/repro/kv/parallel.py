@@ -1,0 +1,729 @@
+"""Process-parallel shard fan-out for sharded stores.
+
+:class:`ParallelShardStore` executes the per-shard sub-batches of a
+hash-sharded store on a pool of **shared-nothing worker processes**: each
+worker owns a disjoint subset of the child engines (one engine per shard,
+built inside the worker after fork, so no file descriptor or page cache
+is shared), and a batched operation ships each worker exactly one
+request — the whole sub-batch as a single encoded buffer from
+:mod:`repro.kv.common.serialization` — and reads back exactly one reply
+buffer.  Eight shards on eight cores then decode, probe and re-encode
+their sub-batches genuinely concurrently, which is what the wall-clock
+fan-out benchmark measures.
+
+This is deliberately an *opt-in, wall-clock* layer: engines inside the
+workers keep their own private simulated clocks (a shared simulated
+timeline across processes would serialize them again), so parallel
+stores expose no ``clock``/``ssd`` attribute and the serving tier's
+simulated-time paths refuse them gracefully.  Use
+:func:`create_sharded_store` to get a :class:`ParallelShardStore` when
+the platform allows it and a plain serial
+:class:`~repro.kv.sharded.ShardedKVStore` otherwise — the two are
+drop-in interchangeable (same routing, same ordering contract, same
+coordinated checkpoint manifest, so either can restore the other's
+checkpoints).
+
+Protocol invariants (the deadlock-freedom argument):
+
+* The parent sends at most one in-flight request per worker, and a
+  request is at most two pipe messages (a pickled header, then an
+  optional raw payload buffer).  A worker is always blocked in ``recv``
+  when a request arrives, drains both messages before replying, and
+  replies with the same header(+payload) shape.  Pipes therefore never
+  carry more than one logical message per direction.
+* Worker replies are read in worker order after all requests are sent,
+  so independent workers overlap while the parent never waits on a
+  worker it has not fed.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import multiprocessing
+import os
+import pickle
+import sys
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from repro.errors import CheckpointError, ConfigError, StorageError
+from repro.kv.api import CheckpointManager, KVStore, StoreStats
+from repro.kv.common.serialization import (
+    decode_records,
+    decode_values,
+    encode_records,
+    encode_values,
+)
+from repro.kv.sharded import _MANIFEST, ShardedKVStore, partition_positions
+
+
+def fork_available() -> bool:
+    """Whether shared-nothing fork workers are supported on this platform."""
+    return sys.platform != "win32" and "fork" in multiprocessing.get_all_start_methods()
+
+
+def create_sharded_store(
+    factory: Callable[[int], KVStore],
+    num_shards: int,
+    directory: Optional[str] = None,
+    processes: Optional[int] = None,
+):
+    """Build a sharded store, process-parallel when the platform allows.
+
+    Returns a :class:`ParallelShardStore` fanning ``num_shards`` engines
+    out over ``processes`` workers, or the serial
+    :class:`~repro.kv.sharded.ShardedKVStore` when parallelism cannot
+    help or cannot be used:
+
+    * ``processes`` (defaulting to ``min(num_shards, cpu_count)``)
+      resolves to 1 — one worker would only add pipe hops;
+    * fork start method unavailable (no cheap shared-nothing workers);
+    * ``REPRO_SANITIZE=1`` — the runtime invariant sanitizer wraps store
+      objects in-process, which cannot reach engines living in worker
+      processes, so sanitized runs always exercise the serial path.
+    """
+    if processes is None:
+        processes = min(num_shards, os.cpu_count() or 1)
+    if (
+        processes <= 1
+        or not fork_available()
+        or os.environ.get("REPRO_SANITIZE") == "1"
+    ):
+        return ShardedKVStore(factory, num_shards, directory=directory)
+    return ParallelShardStore(factory, num_shards, directory=directory, processes=processes)
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _worker_main(shard_indices, factory, conn) -> None:
+    """Own a subset of engines; serve one request at a time until close."""
+    engines = {index: factory(index) for index in shard_indices}
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        op = message[0]
+        try:
+            if op == "multi_get" or op == "snapshot_read_many":
+                _, entries = message
+                keys = np.frombuffer(conn.recv_bytes(), dtype=np.uint64)
+                results: list = []
+                offset = 0
+                for shard, count in entries:
+                    sub_keys = keys[offset : offset + count].tolist()
+                    offset += count
+                    engine = engines[shard]
+                    read = (
+                        engine.multi_get
+                        if op == "multi_get"
+                        else engine.snapshot_read_many
+                    )
+                    results.extend(read(sub_keys))
+                conn.send(("ok", len(results)))
+                conn.send_bytes(bytes(encode_values(results)))
+            elif op == "multi_put":
+                _, entries = message
+                records = decode_records(conn.recv_bytes(), copy=True)
+                for shard, count in entries:
+                    sub_keys: list[int] = []
+                    sub_values: list[bytes] = []
+                    for _ in range(count):
+                        key, value = next(records)
+                        sub_keys.append(key)
+                        sub_values.append(value)
+                    engines[shard].multi_put(sub_keys, sub_values)
+                conn.send(("ok", None))
+            elif op == "multi_rmw":
+                _, entries, update_bytes = message
+                keys = np.frombuffer(conn.recv_bytes(), dtype=np.uint64)
+                try:
+                    update = pickle.loads(update_bytes)
+                except Exception as exc:  # repro: lint-ignore[REP004]
+                    # Unpickling can raise nearly anything (a __main__
+                    # function defined after the fork surfaces as
+                    # AttributeError).  Not swallowed: replied to the
+                    # parent before touching any engine, so it can safely
+                    # run the op itself.
+                    conn.send(("nopickle", exc))
+                    continue
+                new_values: list = []
+                offset = 0
+                for shard, count in entries:
+                    sub_keys = keys[offset : offset + count].tolist()
+                    offset += count
+                    new_values.extend(engines[shard].multi_rmw(sub_keys, update))
+                conn.send(("ok", len(new_values)))
+                conn.send_bytes(bytes(encode_values(new_values)))
+            elif op == "lookahead":
+                _, entries = message
+                keys = np.frombuffer(conn.recv_bytes(), dtype=np.uint64)
+                moved = 0
+                offset = 0
+                for shard, count in entries:
+                    sub_keys = keys[offset : offset + count].tolist()
+                    offset += count
+                    stage = getattr(engines[shard], "lookahead", None)
+                    if stage is not None:
+                        moved += stage(sub_keys)
+                conn.send(("ok", moved))
+            elif op == "single":
+                _, verb, shard, key, value = message
+                engine = engines[shard]
+                if verb == "get":
+                    conn.send(("ok", engine.get(key)))
+                elif verb == "snapshot_read":
+                    conn.send(("ok", engine.snapshot_read(key)))
+                elif verb == "put":
+                    engine.put(key, value)
+                    conn.send(("ok", None))
+                else:  # delete
+                    conn.send(("ok", engine.delete(key)))
+            elif op == "stats":
+                merged = []
+                for index in shard_indices:
+                    child = engines[index].stats
+                    merged.append(
+                        (
+                            index,
+                            child.gets,
+                            child.puts,
+                            child.deletes,
+                            child.hits,
+                            child.misses,
+                            dict(child.extra),
+                        )
+                    )
+                conn.send(("ok", merged))
+            elif op == "count":
+                total = 0
+                for engine in engines.values():
+                    try:
+                        total += len(engine)  # type: ignore[arg-type]
+                    except TypeError:
+                        total += sum(1 for _ in engine.scan())
+                conn.send(("ok", total))
+            elif op == "scan":
+                per_shard = []
+                chunks = []
+                for index in shard_indices:
+                    items = list(engines[index].scan())
+                    per_shard.append((index, len(items)))
+                    if items:
+                        chunks.append(
+                            encode_records(
+                                [key for key, _ in items],
+                                [value for _, value in items],
+                            )
+                        )
+                conn.send(("ok", per_shard))
+                conn.send_bytes(b"".join(bytes(chunk) for chunk in chunks))
+            elif op == "freeze":
+                for engine in engines.values():
+                    engine.freeze()
+                conn.send(("ok", None))
+            elif op == "checkpoint":
+                layout = []
+                for index in shard_indices:
+                    engine = engines[index]
+                    snap = getattr(engine, "checkpoint", None)
+                    if snap is not None:
+                        snap()
+                    layout.append(
+                        (
+                            index,
+                            getattr(engine, "directory", None),
+                            f"{type(engine).__module__}.{type(engine).__qualname__}",
+                        )
+                    )
+                conn.send(("ok", layout))
+            elif op == "close":
+                for engine in engines.values():
+                    engine.close()
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("err", ConfigError(f"unknown worker op {op!r}")))
+        except BaseException as exc:  # repro: lint-ignore[REP004]
+            # Not swallowed: every failure is relayed to the parent, which
+            # re-raises it on the calling thread.
+            try:
+                conn.send(("err", exc))
+            except Exception:  # repro: lint-ignore[REP004]
+                # The exception object itself would not pickle; relay a
+                # picklable stand-in instead of dying silently.
+                conn.send(("err", StorageError(f"worker failed: {exc!r}")))
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+class ParallelShardStore(KVStore, CheckpointManager):
+    """Hash-sharded store whose engines live in worker processes.
+
+    Routing is identical to :class:`~repro.kv.sharded.ShardedKVStore`
+    (same splitmix64 slot table), so a data set written through one
+    wrapper reads back identically through the other.  Live migration is
+    not supported in parallel mode — rescale through the serial wrapper,
+    then reopen in parallel.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[int], KVStore],
+        num_shards: int,
+        directory: Optional[str] = None,
+        processes: Optional[int] = None,
+    ) -> None:
+        if num_shards <= 0:
+            raise ConfigError(f"num_shards must be positive, got {num_shards}")
+        if not fork_available():
+            raise ConfigError(
+                "ParallelShardStore needs the fork start method; use "
+                "create_sharded_store() for a portable fallback"
+            )
+        if processes is None:
+            processes = min(num_shards, os.cpu_count() or 1)
+        if processes <= 0:
+            raise ConfigError(f"processes must be positive, got {processes}")
+        self.num_shards = num_shards
+        self.directory = directory
+        self.processes = min(processes, num_shards)
+        self._slots = list(range(num_shards))
+        self._shard_ops = [0] * num_shards
+        self._owner = [index % self.processes for index in range(num_shards)]
+        self._types: list[Optional[str]] = [None] * num_shards
+        self._shard_dirs: list[Optional[str]] = [None] * num_shards
+        self._closed = False
+        context = multiprocessing.get_context("fork")
+        self._workers = []
+        for worker_index in range(self.processes):
+            owned = [s for s in range(num_shards) if self._owner[s] == worker_index]
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(owned, factory, child_conn),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append((process, parent_conn))
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("parallel store is closed")
+
+    def _recv(self, conn):
+        """Read one reply header, raising any relayed worker exception."""
+        status, payload = conn.recv()
+        if status != "ok":
+            raise payload
+        return payload
+
+    def _drain(self, sent, with_payload: bool = False):
+        """Collect one reply from every worker in ``sent``.
+
+        Always drains all pending replies — even after a failure — so the
+        pipes stay in lockstep for the next operation; only then does a
+        relayed exception propagate.  Returns ``{worker: (meta, payload)}``
+        plus the list of ``(status, exception)`` failures for callers
+        (``multi_rmw``) that can recover from specific statuses.
+        """
+        replies: dict[int, tuple] = {}
+        failures: list[tuple[str, BaseException]] = []
+        for worker_index in sent:
+            _, conn = self._workers[worker_index]
+            status, meta = conn.recv()
+            if status == "ok":
+                payload = conn.recv_bytes() if with_payload else None
+                replies[worker_index] = (meta, payload)
+            else:
+                failures.append((status, meta))
+        return replies, failures
+
+    @staticmethod
+    def _raise_failures(failures) -> None:
+        for status, exc in failures:
+            raise exc
+
+    def _call_worker(self, worker_index: int, message, payload: Optional[bytes] = None):
+        """One request/one reply against a single worker (single-key ops)."""
+        _, conn = self._workers[worker_index]
+        conn.send(message)
+        if payload is not None:
+            conn.send_bytes(payload)
+        return self._recv(conn)
+
+    def _partition(self, keys: list) -> dict[int, list[int]]:
+        return partition_positions(keys, self._slots)
+
+    def _group_by_worker(
+        self, by_shard: dict[int, list[int]]
+    ) -> dict[int, list[tuple[int, list[int]]]]:
+        """Collapse per-shard position groups into per-worker request lists."""
+        by_worker: dict[int, list[tuple[int, list[int]]]] = {}
+        for shard, positions in by_shard.items():
+            self._shard_ops[shard] += len(positions)
+            by_worker.setdefault(self._owner[shard], []).append((shard, positions))
+        return by_worker
+
+    def _fan_out_read(self, keys: list, op: str) -> list:
+        """Ship one combined read request per worker; scatter the replies."""
+        self._check_open()
+        results: list = [None] * len(keys)
+        by_worker = self._group_by_worker(self._partition(keys))
+        key_arr = np.asarray(keys, dtype=np.uint64) if keys else None
+        sent: list[tuple[int, list[tuple[int, list[int]]]]] = []
+        for worker_index, entries in by_worker.items():
+            flat_positions = [p for _, positions in entries for p in positions]
+            _, conn = self._workers[worker_index]
+            conn.send((op, [(shard, len(positions)) for shard, positions in entries]))
+            conn.send_bytes(key_arr[flat_positions].tobytes())
+            sent.append((worker_index, entries))
+        replies, failures = self._drain([w for w, _ in sent], with_payload=True)
+        self._raise_failures(failures)
+        for worker_index, entries in sent:
+            count, payload = replies[worker_index]
+            values = decode_values(payload, count)
+            cursor = 0
+            for _, positions in entries:
+                for position in positions:
+                    results[position] = values[cursor]
+                    cursor += 1
+        return results
+
+    # ------------------------------------------------------------------
+    # KVStore interface
+    # ------------------------------------------------------------------
+    def shard_of(self, key: int) -> int:
+        from repro.kv.sharded import shard_hash
+
+        return self._slots[shard_hash(key) % len(self._slots)]
+
+    def get(self, key: int) -> Optional[bytes]:
+        self._check_open()
+        shard = self.shard_of(key)
+        self._shard_ops[shard] += 1
+        return self._call_worker(self._owner[shard], ("single", "get", shard, key, None))
+
+    def snapshot_read(self, key: int) -> Optional[bytes]:
+        self._check_open()
+        shard = self.shard_of(key)
+        self._shard_ops[shard] += 1
+        return self._call_worker(
+            self._owner[shard], ("single", "snapshot_read", shard, key, None)
+        )
+
+    def put(self, key: int, value: bytes) -> None:
+        self._check_open()
+        self._check_writable()
+        shard = self.shard_of(key)
+        self._shard_ops[shard] += 1
+        if not isinstance(value, bytes):
+            value = bytes(value)
+        self._call_worker(self._owner[shard], ("single", "put", shard, key, value))
+
+    def delete(self, key: int) -> bool:
+        self._check_open()
+        self._check_writable()
+        shard = self.shard_of(key)
+        self._shard_ops[shard] += 1
+        return bool(
+            self._call_worker(self._owner[shard], ("single", "delete", shard, key, None))
+        )
+
+    def multi_get(self, keys) -> list:
+        keys = self._normalize_keys(keys)
+        return self._fan_out_read(keys, "multi_get")
+
+    def snapshot_read_many(self, keys) -> list:
+        keys = self._normalize_keys(keys)
+        return self._fan_out_read(keys, "snapshot_read_many")
+
+    def read_committed_many(self, keys) -> list:
+        """Training-side alias of :meth:`snapshot_read_many`."""
+        return self.snapshot_read_many(keys)
+
+    def multi_put(self, keys, values) -> None:
+        """One combined encoded record buffer per worker, sent in parallel."""
+        self._check_open()
+        self._check_writable()
+        keys, values = self._normalize_pairs(keys, values)
+        by_worker = self._group_by_worker(self._partition(keys))
+        sent = []
+        for worker_index, entries in by_worker.items():
+            sub_keys = [keys[p] for _, positions in entries for p in positions]
+            sub_values = [values[p] for _, positions in entries for p in positions]
+            _, conn = self._workers[worker_index]
+            conn.send(
+                ("multi_put", [(shard, len(positions)) for shard, positions in entries])
+            )
+            conn.send_bytes(bytes(encode_records(sub_keys, sub_values)))
+            sent.append(worker_index)
+        _, failures = self._drain(sent)
+        self._raise_failures(failures)
+
+    def multi_rmw(self, keys, update) -> list:
+        """Server-side batched RMW when ``update`` ships; central otherwise.
+
+        A picklable ``update`` runs inside the workers (one invocation
+        per shard sub-batch, which the :meth:`KVStore.multi_rmw` contract
+        allows), so the read, the transform and the write all stay on the
+        worker cores.  An unpicklable ``update`` (a closure over live
+        state) falls back to the default read-transform-write in the
+        parent, with the reads and writes still fanned out in parallel.
+        """
+        self._check_open()
+        self._check_writable()
+        keys = self._normalize_keys(keys)
+        try:
+            update_bytes = pickle.dumps(update)
+        except Exception:  # repro: lint-ignore[REP004]
+            # Closures over live state cannot ship; fall back to the
+            # central read-transform-write (reads/writes still fan out).
+            return KVStore.multi_rmw(self, keys, update)
+        results: list = [None] * len(keys)
+        by_worker = self._group_by_worker(self._partition(keys))
+        key_arr = np.asarray(keys, dtype=np.uint64) if keys else None
+        sent = []
+        for worker_index, entries in by_worker.items():
+            flat_positions = [p for _, positions in entries for p in positions]
+            _, conn = self._workers[worker_index]
+            conn.send(
+                (
+                    "multi_rmw",
+                    [(shard, len(positions)) for shard, positions in entries],
+                    update_bytes,
+                )
+            )
+            conn.send_bytes(key_arr[flat_positions].tobytes())
+            sent.append((worker_index, entries))
+        replies, failures = self._drain([w for w, _ in sent], with_payload=True)
+        if failures:
+            if not replies and all(status == "nopickle" for status, _ in failures):
+                # The update pickled here but no worker could load it (a
+                # __main__ function defined after the fork).  Nothing was
+                # applied, so the central read-transform-write is safe.
+                return KVStore.multi_rmw(self, keys, update)
+            self._raise_failures(failures)
+        for worker_index, entries in sent:
+            count, payload = replies[worker_index]
+            values = decode_values(payload, count)
+            cursor = 0
+            for _, positions in entries:
+                for position in positions:
+                    results[position] = values[cursor]
+                    cursor += 1
+        return results
+
+    def lookahead(self, keys) -> int:
+        """Fan a prefetch batch out to shards that support staging."""
+        self._check_open()
+        keys = self._normalize_keys(keys)
+        by_worker = self._group_by_worker(self._partition(keys))
+        key_arr = np.asarray(keys, dtype=np.uint64) if keys else None
+        sent = []
+        for worker_index, entries in by_worker.items():
+            flat_positions = [p for _, positions in entries for p in positions]
+            _, conn = self._workers[worker_index]
+            conn.send(
+                ("lookahead", [(shard, len(positions)) for shard, positions in entries])
+            )
+            conn.send_bytes(key_arr[flat_positions].tobytes())
+            sent.append(worker_index)
+        replies, failures = self._drain(sent)
+        self._raise_failures(failures)
+        return sum(meta for meta, _ in replies.values())
+
+    def scan(self) -> Iterator[tuple[int, bytes]]:
+        """All live records, collected eagerly then yielded.
+
+        Replies are fully drained before the first record is yielded so an
+        abandoned iterator can never leave a reply stuck in a pipe.
+        """
+        self._check_open()
+        sent = list(range(len(self._workers)))
+        for _, conn in self._workers:
+            conn.send(("scan",))
+        replies, failures = self._drain(sent, with_payload=True)
+        self._raise_failures(failures)
+        for worker_index in sent:
+            per_shard, buffer = replies[worker_index]
+            expected = sum(count for _, count in per_shard)
+            records = list(decode_records(buffer, copy=True))
+            if len(records) != expected:
+                raise StorageError(
+                    f"scan reply held {len(records)} records, worker "
+                    f"reported {expected}"
+                )
+            yield from records
+
+    def __len__(self) -> int:
+        self._check_open()
+        for _, conn in self._workers:
+            conn.send(("count",))
+        replies, failures = self._drain(range(len(self._workers)))
+        self._raise_failures(failures)
+        return sum(meta for meta, _ in replies.values())
+
+    def freeze(self) -> "ParallelShardStore":
+        """Freeze every worker-side engine, then the wrapper itself."""
+        self._check_open()
+        for _, conn in self._workers:
+            conn.send(("freeze",))
+        _, failures = self._drain(range(len(self._workers)))
+        self._raise_failures(failures)
+        self.read_only = True
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for process, conn in self._workers:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                continue
+        for process, conn in self._workers:
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+            process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+
+    # ------------------------------------------------------------------
+    # stats & balance
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> StoreStats:
+        """Aggregated snapshot of all worker-side engine counters."""
+        self._check_open()
+        for _, conn in self._workers:
+            conn.send(("stats",))
+        replies, failures = self._drain(range(len(self._workers)))
+        self._raise_failures(failures)
+        total = StoreStats()
+        per_shard_extra: list[dict] = [dict() for _ in range(self.num_shards)]
+        for meta, _ in replies.values():
+            for index, gets, puts, deletes, hits, misses, extra in meta:
+                total.gets += gets
+                total.puts += puts
+                total.deletes += deletes
+                total.hits += hits
+                total.misses += misses
+                per_shard_extra[index] = extra
+        total.extra["shard_ops"] = list(self._shard_ops)
+        total.extra["shards"] = per_shard_extra
+        return total
+
+    def balance(self) -> list[int]:
+        """Operations routed to each shard since construction."""
+        return list(self._shard_ops)
+
+    def imbalance(self) -> float:
+        """Max/mean ratio of routed ops (1.0 = perfectly balanced)."""
+        total = sum(self._shard_ops)
+        if total == 0:
+            return 1.0
+        return max(self._shard_ops) / (total / self.num_shards)
+
+    # ------------------------------------------------------------------
+    # coordinated checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Checkpoint every worker-side engine, then bind one manifest.
+
+        The manifest is byte-compatible with the serial wrapper's, so a
+        parallel checkpoint restores through
+        :meth:`ShardedKVStore.restore` and vice versa.
+        """
+        self._check_open()
+        for _, conn in self._workers:
+            conn.send(("checkpoint",))
+        replies, failures = self._drain(range(len(self._workers)))
+        self._raise_failures(failures)
+        for meta, _ in replies.values():
+            for index, shard_dir, type_name in meta:
+                self._shard_dirs[index] = shard_dir
+                self._types[index] = type_name
+        if self.directory is None:
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        relpaths = []
+        for index, shard_dir in enumerate(self._shard_dirs):
+            if shard_dir is None:
+                raise CheckpointError(
+                    f"shard {index} has no directory; coordinated checkpoints "
+                    "need file-backed children"
+                )
+            rel = os.path.relpath(
+                os.path.abspath(shard_dir), os.path.abspath(self.directory)
+            )
+            if rel.startswith(os.pardir):
+                raise CheckpointError(
+                    f"shard directory {shard_dir} is outside the coordinated "
+                    f"base {self.directory}"
+                )
+            relpaths.append(rel)
+        manifest = {
+            "num_shards": self.num_shards,
+            "shards": relpaths,
+            "types": list(self._types),
+            "slots": list(self._slots),
+        }
+        tmp = os.path.join(self.directory, _MANIFEST + ".tmp")
+        with open(tmp, "w") as f:
+            json.dump(manifest, f)
+        os.replace(tmp, os.path.join(self.directory, _MANIFEST))
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str,
+        factory: Optional[Callable[[int, str], KVStore]] = None,
+        processes: Optional[int] = None,
+        **kwargs,
+    ) -> "ParallelShardStore":
+        """Reopen a coordinated checkpoint with worker-process shards.
+
+        Accepts the same manifests :meth:`ShardedKVStore.checkpoint`
+        writes.  ``factory(index, shard_dir)`` rebuilds one child inside
+        its worker; when omitted each child's recorded class is imported
+        and restored with ``kwargs``.  Slot tables with migrations applied
+        are rejected — reopen migrated stores serially.
+        """
+        manifest_path = os.path.join(directory, _MANIFEST)
+        if not os.path.exists(manifest_path):
+            raise CheckpointError(f"no coordinated manifest in {directory}")
+        with open(manifest_path) as f:
+            manifest = json.load(f)
+        slots = manifest.get("slots")
+        if slots is not None and slots != list(range(manifest["num_shards"])):
+            raise CheckpointError(
+                "manifest has a migrated slot table; parallel restore only "
+                "supports identity routing — restore serially instead"
+            )
+        shard_dirs = [os.path.join(directory, rel) for rel in manifest["shards"]]
+        type_names = manifest["types"]
+
+        def build(index: int) -> KVStore:
+            if factory is not None:
+                return factory(index, shard_dirs[index])
+            module_name, _, class_name = type_names[index].rpartition(".")
+            shard_cls = getattr(importlib.import_module(module_name), class_name)
+            return shard_cls.restore(shard_dirs[index], **kwargs)
+
+        return cls(
+            build, manifest["num_shards"], directory=directory, processes=processes
+        )

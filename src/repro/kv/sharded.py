@@ -28,6 +28,8 @@ import json
 import os
 from typing import Callable, Iterator, Optional, Sequence
 
+import numpy as np
+
 from repro.errors import CheckpointError, ConfigError
 from repro.kv.api import CheckpointManager, KVStore, StoreStats
 
@@ -42,6 +44,57 @@ def shard_hash(key: int) -> int:
     x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
     return (x ^ (x >> 31)) & _MASK64
+
+
+def shard_hash_array(keys: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`shard_hash` over a uint64 key array.
+
+    uint64 arithmetic wraps modulo 2**64 exactly like the masked Python
+    version, so the two agree bit for bit on every key.
+    """
+    x = keys.astype(np.uint64, copy=True)
+    x += np.uint64(0x9E3779B97F4A7C15)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x
+
+
+def partition_positions(keys: list, slots: Sequence[int]) -> dict[int, list[int]]:
+    """Group batch *positions* by owning shard under a slot table.
+
+    One vectorized splitmix64 pass plus a stable grouping sort; per-shard
+    position lists preserve input order.  Keys the uint64 conversion
+    rejects fall back to the per-key loop (out-of-range values then
+    surface the engine's own error downstream).  Shared by the serial
+    :class:`ShardedKVStore` fan-out and the process-parallel executor so
+    both route identically.
+    """
+    if len(keys) > 1:
+        try:
+            arr = np.asarray(keys, dtype=np.uint64)
+        except (OverflowError, TypeError, ValueError):
+            pass
+        else:
+            slot_arr = np.asarray(slots, dtype=np.int64)
+            shard_idx = slot_arr[shard_hash_array(arr) % np.uint64(len(slot_arr))]
+            order = np.argsort(shard_idx, kind="stable")
+            sorted_shards = shard_idx[order]
+            starts = np.flatnonzero(np.diff(sorted_shards)) + 1
+            return {
+                int(group_shards[0]): positions.tolist()
+                for positions, group_shards in zip(
+                    np.split(order, starts), np.split(sorted_shards, starts)
+                )
+            }
+    by_shard: dict[int, list[int]] = {}
+    for position, key in enumerate(keys):
+        by_shard.setdefault(
+            slots[shard_hash(key) % len(slots)], []
+        ).append(position)
+    return by_shard
 
 
 class ShardedKVStore(KVStore, CheckpointManager):
@@ -106,10 +159,7 @@ class ShardedKVStore(KVStore, CheckpointManager):
 
     def _partition_keys(self, keys: list) -> dict[int, list[int]]:
         """Group input *positions* by owning shard, preserving order."""
-        by_shard: dict[int, list[int]] = {}
-        for position, key in enumerate(keys):
-            by_shard.setdefault(self.shard_of(key), []).append(position)
-        return by_shard
+        return partition_positions(keys, self._slots)
 
     # ------------------------------------------------------------------
     # KVStore interface

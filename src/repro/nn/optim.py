@@ -9,7 +9,7 @@ paper's Figure 3 line 17 (``emb_optimizer``) pattern.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -118,13 +118,79 @@ class Adam:
         self._v = [np.array(v, copy=True) for v in state["v"]]
 
 
+class _RowArena:
+    """Contiguous float32 row state keyed by embedding id.
+
+    The sparse-row optimizers used to keep one small numpy array per key
+    in a dict; every batch then paid a Python-level loop of tiny numpy
+    ops.  The arena packs all per-key state into growing ``(capacity,
+    width)`` matrices sharing one ``key -> slot`` map, so a whole batch
+    gathers/scatters with two fancy-indexing operations.  ``columns``
+    names the state matrices (e.g. ``("acc",)`` or ``("m", "v")``); an
+    optional int64 ``counts`` column carries per-key step counters.
+    """
+
+    def __init__(self, width: int, columns: tuple[str, ...], counts: bool = False) -> None:
+        self.width = width
+        self.column_names = columns
+        self.slots: dict[int, int] = {}
+        self.columns: dict[str, np.ndarray] = {
+            name: np.zeros((0, width), dtype=np.float32) for name in columns
+        }
+        self.counts: Optional[np.ndarray] = (
+            np.zeros(0, dtype=np.int64) if counts else None
+        )
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def _ensure_capacity(self, needed: int) -> None:
+        capacity = next(iter(self.columns.values())).shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, max(16, capacity * 2))
+        for name, data in self.columns.items():
+            grown = np.zeros((new_capacity, self.width), dtype=np.float32)
+            grown[:capacity] = data
+            self.columns[name] = grown
+        if self.counts is not None:
+            counts = np.zeros(new_capacity, dtype=np.int64)
+            counts[: len(self.counts)] = self.counts
+            self.counts = counts
+
+    def resolve(self, keys: np.ndarray) -> np.ndarray:
+        """Slot indices for ``keys``, allocating zeroed rows for new keys."""
+        slots = self.slots
+        get = slots.get
+        key_list = keys.tolist()
+        idx = np.fromiter(
+            (get(key, -1) for key in key_list), dtype=np.int64, count=len(key_list)
+        )
+        missing = np.flatnonzero(idx < 0)
+        if len(missing):
+            for position in missing.tolist():
+                slot = slots.setdefault(key_list[position], len(slots))
+                idx[position] = slot
+            self._ensure_capacity(len(slots))
+        return idx
+
+    def rows(self, name: str) -> np.ndarray:
+        """The used portion of a state matrix (rows beyond it are spare)."""
+        return self.columns[name][: len(self.slots)]
+
+
 class RowAdagrad:
     """Adagrad over sparse embedding rows fetched from the KV store.
 
-    Accumulator state lives in host memory keyed by embedding id (the
-    specialized frameworks keep the same state in their parameter-server
-    shards); only the embedding *values* round-trip through storage.
-    Falls back to plain SGD when ``adaptive=False``.
+    Accumulator state lives in host memory in a contiguous per-row arena
+    (the specialized frameworks keep the same state in their
+    parameter-server shards); only the embedding *values* round-trip
+    through storage.  Falls back to plain SGD when ``adaptive=False``.
+
+    Updates are batched numpy over the whole ``(n_keys, dim)`` block and
+    bit-identical to the per-key reference loop: every elementwise op
+    (``acc += g*g``; ``row - lr*g/(sqrt(acc)+eps)``) runs in float32 in
+    the same order per element.
     """
 
     def __init__(self, lr: float = 0.05, eps: float = 1e-10, adaptive: bool = True) -> None:
@@ -133,7 +199,30 @@ class RowAdagrad:
         self.lr = lr
         self.eps = eps
         self.adaptive = adaptive
-        self._accumulators: dict[int, np.ndarray] = {}
+        self._arena: Optional[_RowArena] = None
+
+    def _arena_for(self, dim: int) -> _RowArena:
+        if self._arena is None:
+            self._arena = _RowArena(dim, ("acc",))
+        elif self._arena.width != dim:
+            raise ValueError(
+                f"optimizer state has dim {self._arena.width}, got grads of dim {dim}"
+            )
+        return self._arena
+
+    def _advance_accumulators(self, keys: np.ndarray, grads: np.ndarray) -> np.ndarray:
+        """Fold ``grads**2`` into the accumulators; returns the new values.
+
+        Duplicate keys must be pre-aggregated by the caller (the trainers
+        sum gradients per unique key first) — the batched scatter writes
+        each row once.
+        """
+        arena = self._arena_for(grads.shape[1])
+        idx = arena.resolve(keys)
+        acc = arena.columns["acc"][idx]
+        acc += grads * grads
+        arena.columns["acc"][idx] = acc
+        return acc
 
     def updated_rows(
         self, keys: np.ndarray, rows: np.ndarray, grads: np.ndarray
@@ -148,15 +237,8 @@ class RowAdagrad:
         grads = np.asarray(grads, dtype=np.float32).reshape(len(keys), -1)
         if not self.adaptive:
             return rows - self.lr * grads
-        out = np.empty_like(rows)
-        for i, key in enumerate(keys):
-            acc = self._accumulators.get(int(key))
-            if acc is None:
-                acc = np.zeros(rows.shape[1], dtype=np.float32)
-                self._accumulators[int(key)] = acc
-            acc += grads[i] * grads[i]
-            out[i] = rows[i] - self.lr * grads[i] / (np.sqrt(acc) + self.eps)
-        return out
+        acc = self._advance_accumulators(keys, grads)
+        return rows - self.lr * grads / (np.sqrt(acc) + self.eps)
 
     def delta_rows(self, keys: np.ndarray, grads: np.ndarray) -> np.ndarray:
         """Row *deltas* for ``grads``: ``new_row = row + delta``.
@@ -174,33 +256,39 @@ class RowAdagrad:
         grads = np.asarray(grads, dtype=np.float32).reshape(len(keys), -1)
         if not self.adaptive:
             return -(self.lr * grads)
-        out = np.empty_like(grads)
-        for i, key in enumerate(keys):
-            acc = self._accumulators.get(int(key))
-            if acc is None:
-                acc = np.zeros(grads.shape[1], dtype=np.float32)
-                self._accumulators[int(key)] = acc
-            acc += grads[i] * grads[i]
-            out[i] = -(self.lr * grads[i] / (np.sqrt(acc) + self.eps))
-        return out
+        acc = self._advance_accumulators(keys, grads)
+        return -(self.lr * grads / (np.sqrt(acc) + self.eps))
 
     def state_bytes(self) -> int:
         """Size of the in-memory accumulator state (for DESIGN notes)."""
-        return sum(acc.nbytes for acc in self._accumulators.values())
+        if self._arena is None:
+            return 0
+        return len(self._arena) * self._arena.width * 4
 
     def state_dict(self) -> dict:
-        """Per-row accumulators, for resumable training checkpoints."""
+        """Per-row accumulators, for resumable training checkpoints.
+
+        The on-disk format predates the arena and is kept: a plain
+        ``key -> float32 row`` mapping, so old checkpoints load and the
+        parameter-server shard merge keeps working unchanged.
+        """
+        if self._arena is None:
+            return {"accumulators": {}}
+        acc = self._arena.columns["acc"]
         return {
             "accumulators": {
-                key: acc.copy() for key, acc in self._accumulators.items()
+                key: acc[slot].copy() for key, slot in self._arena.slots.items()
             }
         }
 
     def load_state_dict(self, state: dict) -> None:
-        self._accumulators = {
-            int(key): np.asarray(acc, dtype=np.float32).copy()
-            for key, acc in state["accumulators"].items()
-        }
+        self._arena = None
+        items = state["accumulators"].items()
+        for key, acc in items:
+            row = np.asarray(acc, dtype=np.float32).reshape(-1)
+            arena = self._arena_for(row.shape[0])
+            idx = arena.resolve(np.asarray([int(key)], dtype=np.int64))
+            arena.columns["acc"][idx[0]] = row
 
 
 class RowAdam:
@@ -232,34 +320,62 @@ class RowAdam:
         self.lr = lr
         self.beta1, self.beta2 = betas
         self.eps = eps
-        # key -> [m, v, t]; m/v are float32 rows, t the per-key step count.
-        self._state: dict[int, list] = {}
+        self._arena: Optional[_RowArena] = None
+        # step count -> (float32 1-beta1**t, float32 1-beta2**t); the pow is
+        # computed with Python floats exactly as the per-key reference did,
+        # then rounded to float32 once so the batched division stays a
+        # float32 op (a float64 bias column would silently promote it).
+        self._bias_cache: dict[int, tuple[np.float32, np.float32]] = {}
+
+    def _arena_for(self, dim: int) -> _RowArena:
+        if self._arena is None:
+            self._arena = _RowArena(dim, ("m", "v"), counts=True)
+        elif self._arena.width != dim:
+            raise ValueError(
+                f"optimizer state has dim {self._arena.width}, got grads of dim {dim}"
+            )
+        return self._arena
+
+    def _bias_columns(self, steps: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-key ``(1 - beta**t)`` correction columns, shaped ``(n, 1)``."""
+        cache = self._bias_cache
+        unique_steps, inverse = np.unique(steps, return_inverse=True)
+        for t in unique_steps.tolist():
+            if t not in cache:
+                cache[t] = (
+                    np.float32(1.0 - self.beta1 ** t),
+                    np.float32(1.0 - self.beta2 ** t),
+                )
+        bias1 = np.array([cache[t][0] for t in unique_steps.tolist()], dtype=np.float32)
+        bias2 = np.array([cache[t][1] for t in unique_steps.tolist()], dtype=np.float32)
+        return bias1[inverse][:, None], bias2[inverse][:, None]
 
     def delta_rows(self, keys: np.ndarray, grads: np.ndarray) -> np.ndarray:
-        """Row deltas (``new_row = row + delta``); advances moment state."""
+        """Row deltas (``new_row = row + delta``); advances moment state.
+
+        One fused batched update: gather the ``(n, dim)`` moment blocks,
+        advance them with elementwise float32 ops identical to the
+        per-key reference, scatter back, and apply the per-key bias
+        correction as float32 columns.  Duplicate keys must be
+        pre-aggregated by the caller.
+        """
         keys = np.asarray(keys, dtype=np.int64).reshape(-1)
         grads = np.asarray(grads, dtype=np.float32).reshape(len(keys), -1)
-        out = np.empty_like(grads)
-        for i, key in enumerate(keys):
-            state = self._state.get(int(key))
-            if state is None:
-                state = [
-                    np.zeros(grads.shape[1], dtype=np.float32),
-                    np.zeros(grads.shape[1], dtype=np.float32),
-                    0,
-                ]
-                self._state[int(key)] = state
-            m, v, t = state
-            t += 1
-            state[2] = t
-            m *= self.beta1
-            m += (1.0 - self.beta1) * grads[i]
-            v *= self.beta2
-            v += (1.0 - self.beta2) * grads[i] * grads[i]
-            bias1 = 1.0 - self.beta1 ** t
-            bias2 = 1.0 - self.beta2 ** t
-            out[i] = -(self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps))
-        return out
+        arena = self._arena_for(grads.shape[1])
+        idx = arena.resolve(keys)
+        assert arena.counts is not None
+        arena.counts[idx] += 1
+        steps = arena.counts[idx]
+        m = arena.columns["m"][idx]
+        v = arena.columns["v"][idx]
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grads
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grads * grads
+        arena.columns["m"][idx] = m
+        arena.columns["v"][idx] = v
+        bias1, bias2 = self._bias_columns(steps)
+        return -(self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps))
 
     def updated_rows(
         self, keys: np.ndarray, rows: np.ndarray, grads: np.ndarray
@@ -271,22 +387,37 @@ class RowAdam:
 
     def state_bytes(self) -> int:
         """Size of the in-memory moment state (for DESIGN notes)."""
-        return sum(m.nbytes + v.nbytes for m, v, _ in self._state.values())
+        if self._arena is None:
+            return 0
+        return len(self._arena) * self._arena.width * 4 * 2
 
     def state_dict(self) -> dict:
-        """Per-row moments + steps, for resumable training checkpoints."""
+        """Per-row moments + steps, for resumable training checkpoints.
+
+        Format kept from before the arena: ``key -> (m, v, t)`` tuples,
+        so old checkpoints load unchanged.
+        """
+        if self._arena is None:
+            return {"state": {}}
+        m = self._arena.columns["m"]
+        v = self._arena.columns["v"]
+        assert self._arena.counts is not None
+        counts = self._arena.counts
         return {
             "state": {
-                key: (m.copy(), v.copy(), t) for key, (m, v, t) in self._state.items()
+                key: (m[slot].copy(), v[slot].copy(), int(counts[slot]))
+                for key, slot in self._arena.slots.items()
             }
         }
 
     def load_state_dict(self, state: dict) -> None:
-        self._state = {
-            int(key): [
-                np.asarray(m, dtype=np.float32).copy(),
-                np.asarray(v, dtype=np.float32).copy(),
-                int(t),
-            ]
-            for key, (m, v, t) in state["state"].items()
-        }
+        self._arena = None
+        for key, (m, v, t) in state["state"].items():
+            row_m = np.asarray(m, dtype=np.float32).reshape(-1)
+            row_v = np.asarray(v, dtype=np.float32).reshape(-1)
+            arena = self._arena_for(row_m.shape[0])
+            idx = arena.resolve(np.asarray([int(key)], dtype=np.int64))
+            arena.columns["m"][idx[0]] = row_m
+            arena.columns["v"][idx[0]] = row_v
+            assert arena.counts is not None
+            arena.counts[idx[0]] = int(t)

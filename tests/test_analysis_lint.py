@@ -113,6 +113,72 @@ class TestRep001ClockPurity:
         assert findings == []
 
 
+class TestRep001BenchAllowlist:
+    """The bench tier (benchmarks/ + repro.bench.*) may read
+    ``time.perf_counter`` for real-time measurement; everything else in
+    the wall-clock vocabulary stays banned there, and module-less files
+    outside benchmarks/ stay out of scope entirely."""
+
+    def test_perf_counter_allowed_in_benchmarks_dir(self):
+        findings = lint_source(
+            "import time\n"
+            "elapsed = time.perf_counter()\n"
+            "ns = time.perf_counter_ns()\n",
+            path="benchmarks/test_wallclock.py",
+        )
+        assert findings == []
+
+    def test_perf_counter_allowed_in_repro_bench(self):
+        findings = lint_source(
+            "from time import perf_counter\n"
+            "start = perf_counter()\n",
+            path="src/repro/bench/wallclock.py",
+        )
+        assert findings == []
+
+    def test_time_time_still_flagged_in_bench_scope(self):
+        findings = lint_source(
+            "import time\n"
+            "stamp = time.time()\n"
+            "time.sleep(0.1)\n"
+            "tick = time.monotonic()\n",
+            path="benchmarks/test_wallclock.py",
+        )
+        assert rules_of(findings) == ["REP001", "REP001", "REP001"]
+
+    def test_sleep_from_import_flagged_in_bench_scope(self):
+        findings = lint_source(
+            "from time import perf_counter, sleep\n",
+            path="benchmarks/test_wallclock.py",
+        )
+        assert rules_of(findings) == ["REP001"]
+        assert "sleep" in findings[0].message
+
+    def test_perf_counter_still_flagged_outside_bench_scope(self):
+        findings = lint_source(
+            "import time\n"
+            "start = time.perf_counter()\n",
+            path="src/repro/kv/lsm/wal.py",
+        )
+        assert rules_of(findings) == ["REP001"]
+
+    def test_module_less_non_benchmark_files_stay_skipped(self):
+        findings = lint_source(
+            "import time\n"
+            "start = time.time()\n",
+            path="tests/test_something.py",
+        )
+        assert findings == []
+
+    def test_pragma_still_works_in_bench_scope(self):
+        findings = lint_source(
+            "import time\n"
+            "now = time.time()  # repro: lint-ignore[REP001] wall stamp in meta\n",
+            path="benchmarks/test_wallclock.py",
+        )
+        assert findings == []
+
+
 # ----------------------------------------------------------------------
 # REP002 — KV contract completeness
 # ----------------------------------------------------------------------

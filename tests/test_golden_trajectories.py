@@ -1,0 +1,78 @@
+"""Golden training trajectories: the vectorized hot paths must be
+bit-identical to the code that captured these numbers.
+
+``tests/data/golden_trajectories.json`` was captured by running the
+three end-to-end workloads (DLRM over MLKV, TransE over FASTER, GNN over
+MLKV) with the *per-key* gather/scatter and optimizer loops, before the
+vectorized rewrite landed.  Each entry pins the per-batch loss sequence
+(as float32 hex — exact bits, not approximate decimals) and an XOR
+checksum over the final embedding table's raw float32 bits.
+
+If any vectorized path (batch codec, ``decode_vectors`` gather, dedup'd
+scatter, arena optimizers) reorders a float operation or changes a
+dtype, these tests fail on the exact batch where the trajectory forks —
+much sharper than a loss-curve tolerance check.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench import build_stack
+from repro.bench.harness import run_dlrm, run_gnn, run_kge
+from repro.data import CTRDataset, GraphDataset, KGDataset
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_trajectories.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as f:
+        return json.load(f)
+
+
+def _loss_hexes(losses) -> list[str]:
+    return [float(np.float32(x)).hex() for x in np.asarray(losses, np.float32)]
+
+
+def _embedding_crc(stack, num_keys: int) -> int:
+    emb = stack.tables.peek(np.arange(num_keys))
+    return int(np.bitwise_xor.reduce(emb.astype(np.float32).view(np.uint32).reshape(-1)))
+
+
+def _assert_matches(golden_entry, losses, crc) -> None:
+    got = _loss_hexes(losses)
+    want = golden_entry["losses"]
+    assert len(got) == len(want)
+    for batch, (g, w) in enumerate(zip(got, want)):
+        assert g == w, f"loss trajectory forks at batch {batch}: {g} != {w}"
+    assert crc == golden_entry["emb_crc"]
+
+
+def test_dlrm_trajectory_bit_identical(golden):
+    stack = build_stack("mlkv", dim=8, memory_budget_bytes=1 << 20,
+                        cache_entries=512)
+    ctr = CTRDataset(num_fields=4, field_cardinality=300, seed=3)
+    result = run_dlrm(stack, ctr, dim=8, num_batches=12, batch_size=16)
+    _assert_matches(golden["dlrm"], result.losses, _embedding_crc(stack, 1200))
+
+
+def test_kge_trajectory_bit_identical(golden):
+    stack = build_stack("faster", dim=8, memory_budget_bytes=1 << 20,
+                        cache_entries=512)
+    kg = KGDataset(num_entities=500, num_relations=5, seed=5)
+    result = run_kge(stack, kg, dim=8, num_batches=12, batch_size=16)
+    _assert_matches(golden["kge"], result.losses, _embedding_crc(stack, 500))
+
+
+def test_gnn_trajectory_bit_identical(golden):
+    stack = build_stack("mlkv", dim=8, memory_budget_bytes=1 << 20,
+                        cache_entries=512)
+    graph = GraphDataset(num_nodes=300, avg_degree=5, num_classes=4, seed=7)
+    result = run_gnn(stack, graph, dim=8, hidden_dim=16, num_batches=8,
+                     batch_size=16, fanouts=(4,))
+    _assert_matches(golden["gnn"], result.losses, _embedding_crc(stack, 300))
