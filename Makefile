@@ -4,10 +4,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-recovery test-dist test-sanitize serve-smoke bench bench-smoke bench-gate bench-wallclock lint typecheck analyze
+.PHONY: test test-recovery test-dist test-sanitize test-obs serve-smoke bench bench-smoke bench-gate bench-wallclock lint typecheck analyze
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Cross-layer observability suite: the metrics registry/profiler, the
+# dual-clock tracer, and the golden serving trace (one request stream →
+# one causally-connected span tree from the loop down to device I/O,
+# through replication failover).
+test-obs:
+	$(PYTHON) -m pytest tests/test_obs_metrics.py tests/test_obs_trace.py -q
 
 # Crash-injection / durability suite on its own, so recovery flakes are
 # attributable to recovery code and not the wider test run.
@@ -52,7 +59,7 @@ bench-gate:
 	rm -rf results/baselines && mkdir -p results/baselines
 	cp BENCH_*.json results/baselines/
 	touch results/baselines/.gate-start
-	$(PYTHON) -m pytest benchmarks/test_sharded_batched.py benchmarks/test_serving.py benchmarks/test_replicated.py benchmarks/test_dist_scaling.py benchmarks/test_wallclock.py -q
+	$(PYTHON) -m pytest benchmarks/test_sharded_batched.py benchmarks/test_serving.py benchmarks/test_replicated.py benchmarks/test_dist_scaling.py benchmarks/test_wallclock.py benchmarks/test_obs_overhead.py -q
 	$(PYTHON) benchmarks/compare.py --baseline results/baselines --fresh . --tolerance 0.30 --wall-tolerance 0.60 --since results/baselines/.gate-start
 
 # Replication + distributed suites once more under the runtime invariant
@@ -64,9 +71,10 @@ test-sanitize:
 
 # Prefer ruff (fast, wider net) when present; fall back to pyflakes,
 # then to the always-available compileall syntax check.  The repo's own
-# AST linter (REP001-REP005: simulated-clock purity, KV contract
+# AST linter (REP001-REP006: simulated-clock purity, KV contract
 # completeness, storage layering, no swallowed exceptions, no set-order
-# iteration) always runs — it has no third-party dependencies.
+# iteration, instrumentation-through-repro.obs) always runs — it has no
+# third-party dependencies.
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \

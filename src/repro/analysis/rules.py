@@ -1,4 +1,4 @@
-"""The built-in rule catalog: REP001-REP005.
+"""The built-in rule catalog: REP001-REP006.
 
 Each rule states one invariant the simulated train/serve stack rests on
 and generic linters cannot express.  Rules scope themselves by module
@@ -12,6 +12,8 @@ REP003  layering: serve/ and train/dist/ reach storage only through
         ``repro.kv`` public names; core/ never imports serve/.
 REP004  no swallowed broad exceptions in crash-safety-critical modules.
 REP005  no iteration over set values (replay/fan-out nondeterminism).
+REP006  hot-path instrumentation goes through ``repro.obs`` handles,
+        never ad-hoc ``print``/stdout writes.
 """
 
 from __future__ import annotations
@@ -41,13 +43,20 @@ _RANDOM_ALLOWED = {"Random"}
 #: ``perf_counter``; everything else (``time.time``, ``monotonic``,
 #: ``sleep``, ...) stays banned even there — a bench that sleeps or
 #: reads calendar time is either flaky or lying about the timeline.
+#: The same allowlist covers ``repro.obs``: dual-clock spans and the
+#: hot-path profiler measure wall time next to the simulated timeline.
 _BENCH_WALL_ALLOWED = {"perf_counter", "perf_counter_ns"}
 
 
 def _bench_scope(source: SourceFile) -> bool:
-    """Whether ``source`` belongs to the wall-clock-measuring bench tier:
-    the ``repro.bench`` package or a file under ``benchmarks/``."""
-    if source.module is not None and source.module.startswith("repro.bench"):
+    """Whether ``source`` belongs to a wall-clock-measuring tier: the
+    ``repro.bench`` package, the ``repro.obs`` observability substrate
+    (dual-clock tracing), or a file under ``benchmarks/``."""
+    if source.module is not None and (
+        source.module.startswith("repro.bench")
+        or source.module == "repro.obs"
+        or source.module.startswith("repro.obs.")
+    ):
         return True
     return "benchmarks" in PurePath(source.path).parts
 
@@ -58,7 +67,8 @@ class SimulatedClockPurity(LintRule):
     summary = (
         "no wall-clock or ambient entropy in simulated components "
         "(use SimClock timelines and seeded random.Random); the bench "
-        "tier may use time.perf_counter for real-time measurement"
+        "tier and repro.obs may use time.perf_counter for real-time "
+        "measurement"
     )
 
     def applies(self, module: Optional[str]) -> bool:
@@ -481,7 +491,69 @@ class NoSetIteration(LintRule):
                 )
 
 
+# ----------------------------------------------------------------------
+# REP006 — hot-path modules route instrumentation through repro.obs.
+# An ad-hoc print() (or raw stdout/stderr write) in a storage, serving,
+# device, or training module costs string formatting even when nobody is
+# observing, skews wall-clock benches, and scatters telemetry the
+# MetricsRegistry/Tracer exist to unify.  repro.obs hands out no-op
+# handles when disabled, so instrumentation routed through it is free.
+# ----------------------------------------------------------------------
+
+_HOT_PATH_PREFIXES = (
+    "repro.kv",
+    "repro.core",
+    "repro.serve",
+    "repro.train",
+    "repro.device",
+)
+_STD_STREAMS = {"stdout", "stderr"}
+
+
+@register
+class InstrumentationViaObs(LintRule):
+    name = "REP006"
+    summary = (
+        "hot-path modules (kv/, core/, serve/, train/, device/) route "
+        "instrumentation through repro.obs handles; no ad-hoc print or "
+        "raw stdout/stderr writes"
+    )
+
+    def applies(self, module: Optional[str]) -> bool:
+        return module is not None and any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in _HOT_PATH_PREFIXES
+        )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                yield source.finding(
+                    self.name, node,
+                    "ad-hoc `print()` in a hot-path module; route "
+                    "instrumentation through repro.obs (registry handles, "
+                    "spans, profiler hooks) — they are no-ops when disabled",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "write"
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr in _STD_STREAMS
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id == "sys"
+            ):
+                yield source.finding(
+                    self.name, node,
+                    f"raw `sys.{func.value.attr}.write()` in a hot-path "
+                    "module; route instrumentation through repro.obs handles",
+                )
+
+
 __all__: Iterable[str] = [
+    "InstrumentationViaObs",
     "KVContractCompleteness",
     "NoSetIteration",
     "NoSwallowedBroadExceptions",

@@ -20,9 +20,10 @@ To keep wall-clock numbers honest rather than noisy:
   ``"clock": "wall"`` (see ``benchmarks/compare.py``) — wall numbers
   gate only against order-of-magnitude collapses, not runner noise.
 
-This module is the one place outside ``benchmarks/`` allowed to call
-``time.perf_counter`` (analysis rule REP001 allowlists exactly the bench
-scope); production code stays on the simulated clock.
+Outside ``benchmarks/``, only this module and ``repro.obs`` (whose
+spans and profiler hooks carry wall timestamps alongside the simulated
+ones) may call ``time.perf_counter`` — analysis rule REP001 allowlists
+exactly those scopes; production code stays on the simulated clock.
 """
 
 from __future__ import annotations

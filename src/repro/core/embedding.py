@@ -21,6 +21,7 @@ from repro.errors import ConfigError, StalenessViolation
 from repro.kv.api import KVStore
 from repro.kv.common.cache import LRUCache
 from repro.kv.common.serialization import decode_vectors, encode_vectors
+from repro.obs import profile as obs_profile
 
 
 #: Dataloader worker threads issuing conventional (synchronous-API)
@@ -138,6 +139,7 @@ class EmbeddingTables:
         moves through the batch codec: one encode buffer for the
         initialization write-back, one vectorized decode for the result.
         """
+        token = obs_profile.begin()
         raws = self.store.multi_get(keys)
         missing = [key for key, raw in zip(keys, raws) if raw is None]
         if missing:
@@ -145,7 +147,9 @@ class EmbeddingTables:
             self.store.multi_put(missing, encode_vectors(init_rows))
             refreshed = iter(self.store.multi_get(missing))
             raws = [raw if raw is not None else next(refreshed) for raw in raws]
-        return decode_vectors(raws, dim=self.dim)
+        rows = decode_vectors(raws, dim=self.dim)
+        obs_profile.end("emb.gather", token, units=len(keys))
+        return rows
 
     def put(self, keys, values: np.ndarray) -> None:
         """Write updated vectors back (backward-pass path).
@@ -159,9 +163,11 @@ class EmbeddingTables:
             raise ConfigError("put requires one vector per key")
         # Last-duplicate-wins dedup, vectorized: unique over the reversed
         # keys makes each key's *first* hit its last original occurrence.
+        token = obs_profile.begin()
         unique, rev_index = np.unique(keys[::-1], return_index=True)
         rows = values[keys.shape[0] - 1 - rev_index]
         self.store.multi_put(unique.tolist(), encode_vectors(rows))
+        obs_profile.end("emb.scatter", token, units=int(unique.shape[0]))
         for i, key in enumerate(unique.tolist()):
             entry = self.cache.peek(key)
             if entry is not None:

@@ -34,6 +34,7 @@ from repro.errors import StalenessViolation, StorageError
 from repro.kv.faster.record import next_generation, pack_word, unpack_word
 from repro.kv.faster.store import FasterKV
 from repro.core.staleness import ASP_BOUND, ConsistencyMode, mode_for_bound
+from repro.obs.trace import span as obs_span
 
 #: Extra CPU charged per op for vector-clock maintenance (≈ the <10%
 #: uniform / <20% zipfian overhead measured in Figure 10).
@@ -278,11 +279,12 @@ class MLKV(FasterKV):
         if not self.bounded_staleness:
             return super().multi_get(keys)
         keys = self._normalize_keys(keys)
-        self._charge_batch_cpu(len(keys))
-        if CLOCK_OVERHEAD_SECONDS and keys:
-            self.clock.advance(CLOCK_OVERHEAD_SECONDS * len(keys), component="cpu")
-        self._stats.gets += len(keys)
-        return [self._get_bounded(key) for key in keys]
+        with obs_span("kv.multi_get", clock=self.clock, engine="mlkv", keys=len(keys)):
+            self._charge_batch_cpu(len(keys))
+            if CLOCK_OVERHEAD_SECONDS and keys:
+                self.clock.advance(CLOCK_OVERHEAD_SECONDS * len(keys), component="cpu")
+            self._stats.gets += len(keys)
+            return [self._get_bounded(key) for key in keys]
 
     def multi_put(self, keys, values) -> None:
         """Batched Put: one epoch/CPU acquisition, per-key clock updates."""
@@ -291,13 +293,14 @@ class MLKV(FasterKV):
             return
         self._check_writable()
         keys, values = self._normalize_pairs(keys, values)
-        self._charge_batch_cpu(len(keys))
-        if CLOCK_OVERHEAD_SECONDS and keys:
-            self.clock.advance(CLOCK_OVERHEAD_SECONDS * len(keys), component="cpu")
-        self._stats.puts += len(keys)
-        with self.epochs.guard():
-            for key, value in zip(keys, values):
-                self._put_bounded(key, value)
+        with obs_span("kv.multi_put", clock=self.clock, engine="mlkv", keys=len(keys)):
+            self._charge_batch_cpu(len(keys))
+            if CLOCK_OVERHEAD_SECONDS and keys:
+                self.clock.advance(CLOCK_OVERHEAD_SECONDS * len(keys), component="cpu")
+            self._stats.puts += len(keys)
+            with self.epochs.guard():
+                for key, value in zip(keys, values):
+                    self._put_bounded(key, value)
 
     def read_committed(self, key: int) -> Optional[bytes]:
         """Snapshot read for evaluation: no admission, no clock update."""

@@ -18,6 +18,7 @@ is how look-ahead prefetching hides disk accesses in the figures.
 from __future__ import annotations
 
 from repro.device.clock import SimClock
+from repro.obs.trace import span as obs_span
 
 #: Bytes per simulated I/O page; transfers are rounded up to whole pages.
 PAGE_BYTES = 4096
@@ -84,7 +85,7 @@ class SSDModel:
         if not effective_blocking:
             latency /= min(self.queue_depth, self._background_parallelism)
         cost = latency + (pages * PAGE_BYTES) / self.read_bandwidth
-        self._charge(cost, blocking)
+        self._charge(cost, blocking, op="random_read")
         self.reads += 1
         self.bytes_read += pages * PAGE_BYTES
         return cost
@@ -95,7 +96,7 @@ class SSDModel:
         cost = self.random_read_latency + (pages * PAGE_BYTES) / self.read_bandwidth
         # Bulk reads amortize the per-I/O latency over the whole transfer,
         # so only one latency term is paid regardless of size.
-        self._charge(cost, blocking)
+        self._charge(cost, blocking, op="sequential_read")
         self.reads += 1
         self.bytes_read += pages * PAGE_BYTES
         return cost
@@ -104,16 +105,24 @@ class SSDModel:
         """Charge a bandwidth-bound bulk write of ``nbytes``."""
         pages = self._pages(nbytes)
         cost = (pages * PAGE_BYTES) / self.write_bandwidth
-        self._charge(cost, blocking)
+        self._charge(cost, blocking, op="sequential_write")
         self.writes += 1
         self.bytes_written += pages * PAGE_BYTES
         return cost
 
-    def _charge(self, cost: float, blocking: bool) -> None:
-        if blocking and self._background_depth == 0:
-            self.clock.advance(cost, component="ssd")
-        else:
-            self.clock.charge_background(cost, component="ssd")
+    def _charge(self, cost: float, blocking: bool, op: str = "io") -> None:
+        foreground = blocking and self._background_depth == 0
+        with obs_span(
+            "device.io",
+            clock=self.clock,
+            op=op,
+            blocking=foreground,
+            cost_s=cost,
+        ):
+            if foreground:
+                self.clock.advance(cost, component="ssd")
+            else:
+                self.clock.charge_background(cost, component="ssd")
 
     def background(self, parallelism: int | None = None) -> "_BackgroundScope":
         """Context manager: I/O issued inside is overlapped, not blocking.

@@ -24,6 +24,7 @@ from repro.errors import StorageError
 from repro.kv.api import CheckpointManager, KVStore, StoreStats
 from repro.kv.common.cache import ClockCache
 from repro.kv.btree.pager import PageStore
+from repro.obs.trace import span as obs_span
 
 DEFAULT_OP_CPU_SECONDS = 1.2e-6
 _DEFAULT_FANOUT = 64
@@ -265,6 +266,10 @@ class BTreeKV(KVStore, CheckpointManager):
         returned in input order; duplicates share the pinned leaf.
         """
         keys = self._normalize_keys(keys)
+        with obs_span("kv.multi_get", clock=self.clock, engine="btree", keys=len(keys)):
+            return self._multi_get_batched(keys)
+
+    def _multi_get_batched(self, keys: list) -> list:
         self._charge_batch_cpu(len(keys))
         self._stats.gets += len(keys)
         results: list[Optional[bytes]] = [None] * len(keys)
@@ -290,6 +295,10 @@ class BTreeKV(KVStore, CheckpointManager):
         """
         self._check_writable()
         keys, values = self._normalize_pairs(keys, values)
+        with obs_span("kv.multi_put", clock=self.clock, engine="btree", keys=len(keys)):
+            return self._multi_put_batched(keys, values)
+
+    def _multi_put_batched(self, keys: list, values: list) -> None:
         self._charge_batch_cpu(len(keys))
         self._stats.puts += len(keys)
         order = sorted(range(len(keys)), key=lambda position: keys[position])

@@ -27,6 +27,8 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import profile as obs_profile
+
 _RECORD_HEADER = struct.Struct("<QI")
 #: Public alias of the ``[u64 key][u32 value_len]`` header struct for
 #: callers that interleave their own framing (the WAL's op tags) while
@@ -107,6 +109,7 @@ def encode_records(
             f"encode_records requires equally many keys and values; "
             f"got {len(keys)} keys and {len(values)} values"
         )
+    token = obs_profile.begin()
     header = _RECORD_HEADER.size
     n = len(keys)
     width = len(values[0]) if n else 0
@@ -141,6 +144,7 @@ def encode_records(
             framed[:, header:] = np.frombuffer(
                 b"".join(values), dtype=np.uint8
             ).reshape(n, width)
+            obs_profile.end("codec.encode_records", token, units=n)
             return out
     pack = _RECORD_HEADER.pack_into
     cursor = offset
@@ -152,6 +156,7 @@ def encode_records(
         cursor += header
         out[cursor : cursor + length] = value
         cursor += length
+    obs_profile.end("codec.encode_records", token, units=n)
     return out
 
 
@@ -197,9 +202,12 @@ def encode_values(values: Iterable[Optional[bytes]]) -> bytearray:
     framing of the process-pool shard executor: one buffer per sub-batch
     regardless of batch size.
     """
+    token = obs_profile.begin()
     parts = bytearray()
     pack = struct.pack
+    count = 0
     for value in values:
+        count += 1
         if value is None:
             parts += pack("<I", _ABSENT_LEN)
         else:
@@ -208,11 +216,13 @@ def encode_values(values: Iterable[Optional[bytes]]) -> bytearray:
                 raise ValueError(f"value of {length} bytes exceeds frame limit")
             parts += pack("<I", length)
             parts += value
+    obs_profile.end("codec.encode_values", token, units=count)
     return parts
 
 
 def decode_values(buffer, count: int) -> list[Optional[bytes]]:
     """Decode ``count`` optional values framed by :func:`encode_values`."""
+    token = obs_profile.begin()
     view = memoryview(buffer)
     out: list[Optional[bytes]] = []
     cursor = 0
@@ -234,6 +244,7 @@ def decode_values(buffer, count: int) -> list[Optional[bytes]]:
             f"value stream holds {len(view) - cursor} trailing byte(s) "
             f"beyond {count} values"
         )
+    obs_profile.end("codec.decode_values", token, units=count)
     return out
 
 

@@ -39,6 +39,7 @@ from repro.kv.faster.record import (
     pack_word,
     unpack_word,
 )
+from repro.obs.trace import span as obs_span
 
 #: CPU cost of one store operation (hash probe + log access bookkeeping).
 DEFAULT_OP_CPU_SECONDS = 0.9e-6
@@ -177,20 +178,22 @@ class FasterKV(KVStore, CheckpointManager):
         look-ahead staging (:meth:`repro.core.mlkv.MLKV.lookahead`).
         """
         keys = self._normalize_keys(keys)
-        self._charge_batch_cpu(len(keys))
-        self._stats.gets += len(keys)
-        with self.epochs.guard():
-            return [self._get_in_epoch(key) for key in keys]
+        with obs_span("kv.multi_get", clock=self.clock, engine="faster", keys=len(keys)):
+            self._charge_batch_cpu(len(keys))
+            self._stats.gets += len(keys)
+            with self.epochs.guard():
+                return [self._get_in_epoch(key) for key in keys]
 
     def multi_put(self, keys, values) -> None:
         """Batched put: one epoch acquisition and amortized CPU per batch."""
         self._check_writable()
         keys, values = self._normalize_pairs(keys, values)
-        self._charge_batch_cpu(len(keys))
-        self._stats.puts += len(keys)
-        with self.epochs.guard():
-            for key, value in zip(keys, values):
-                self._upsert(key, value)
+        with obs_span("kv.multi_put", clock=self.clock, engine="faster", keys=len(keys)):
+            self._charge_batch_cpu(len(keys))
+            self._stats.puts += len(keys)
+            with self.epochs.guard():
+                for key, value in zip(keys, values):
+                    self._upsert(key, value)
 
     def rmw(self, key: int, update: Callable[[Optional[bytes]], bytes]) -> bytes:
         self._check_writable()

@@ -21,6 +21,7 @@ from repro.kv.lsm.compaction import LeveledPolicy, merge_runs
 from repro.kv.lsm.memtable import MemTable
 from repro.kv.lsm.sstable import DEFAULT_BLOCK_BYTES, SSTable
 from repro.kv.lsm.wal import WriteAheadLog
+from repro.obs.trace import span as obs_span
 
 DEFAULT_OP_CPU_SECONDS = 1.1e-6
 
@@ -192,6 +193,10 @@ class LsmKV(KVStore, CheckpointManager):
         per-op CPU cost is charged once per batch.
         """
         keys = self._normalize_keys(keys)
+        with obs_span("kv.multi_get", clock=self.clock, engine="lsm", keys=len(keys)):
+            return self._multi_get_batched(keys)
+
+    def _multi_get_batched(self, keys: list) -> list:
         self._charge_batch_cpu(len(keys))
         self._stats.gets += len(keys)
         results: list[Optional[bytes]] = [None] * len(keys)
@@ -245,16 +250,17 @@ class LsmKV(KVStore, CheckpointManager):
         """
         self._check_writable()
         keys, values = self._normalize_pairs(keys, values)
-        self._charge_batch_cpu(len(keys))
-        self._stats.puts += len(keys)
-        last: dict[int, bytes] = {}
-        for key, value in zip(keys, values):
-            last[key] = value
-        items = sorted(last.items())
-        self.wal.append_put_batch(items)
-        for key, value in items:
-            self.memtable.put(key, value)
-        self._maybe_flush()
+        with obs_span("kv.multi_put", clock=self.clock, engine="lsm", keys=len(keys)):
+            self._charge_batch_cpu(len(keys))
+            self._stats.puts += len(keys)
+            last: dict[int, bytes] = {}
+            for key, value in zip(keys, values):
+                last[key] = value
+            items = sorted(last.items())
+            self.wal.append_put_batch(items)
+            for key, value in items:
+                self.memtable.put(key, value)
+            self._maybe_flush()
 
     def scan(self) -> Iterator[tuple[int, bytes]]:
         runs = self._all_runs()

@@ -57,6 +57,8 @@ from repro.kv.common.serialization import (
     encode_values,
 )
 from repro.kv.sharded import _MANIFEST, ShardedKVStore, partition_positions
+from repro.obs import profile as obs_profile
+from repro.obs.trace import span as obs_span
 
 
 def fork_available() -> bool:
@@ -299,6 +301,10 @@ class ParallelShardStore(KVStore, CheckpointManager):
         self._types: list[Optional[str]] = [None] * num_shards
         self._shard_dirs: list[Optional[str]] = [None] * num_shards
         self._closed = False
+        # Last merged worker-counter snapshot: close() takes a final one
+        # before tearing the workers down, so `stats` stays faithful (and
+        # readable) after the engines' processes are gone.
+        self._stats_cache: Optional[StoreStats] = None
         context = multiprocessing.get_context("fork")
         self._workers = []
         for worker_index in range(self.processes):
@@ -377,27 +383,32 @@ class ParallelShardStore(KVStore, CheckpointManager):
     def _fan_out_read(self, keys: list, op: str) -> list:
         """Ship one combined read request per worker; scatter the replies."""
         self._check_open()
-        results: list = [None] * len(keys)
-        by_worker = self._group_by_worker(self._partition(keys))
-        key_arr = np.asarray(keys, dtype=np.uint64) if keys else None
-        sent: list[tuple[int, list[tuple[int, list[int]]]]] = []
-        for worker_index, entries in by_worker.items():
-            flat_positions = [p for _, positions in entries for p in positions]
-            _, conn = self._workers[worker_index]
-            conn.send((op, [(shard, len(positions)) for shard, positions in entries]))
-            conn.send_bytes(key_arr[flat_positions].tobytes())
-            sent.append((worker_index, entries))
-        replies, failures = self._drain([w for w, _ in sent], with_payload=True)
-        self._raise_failures(failures)
-        for worker_index, entries in sent:
-            count, payload = replies[worker_index]
-            values = decode_values(payload, count)
-            cursor = 0
-            for _, positions in entries:
-                for position in positions:
-                    results[position] = values[cursor]
-                    cursor += 1
-        return results
+        with obs_span("kv.parallel_fanout", op=op, keys=len(keys)):
+            results: list = [None] * len(keys)
+            dispatch_token = obs_profile.begin()
+            by_worker = self._group_by_worker(self._partition(keys))
+            key_arr = np.asarray(keys, dtype=np.uint64) if keys else None
+            sent: list[tuple[int, list[tuple[int, list[int]]]]] = []
+            for worker_index, entries in by_worker.items():
+                flat_positions = [p for _, positions in entries for p in positions]
+                _, conn = self._workers[worker_index]
+                conn.send((op, [(shard, len(positions)) for shard, positions in entries]))
+                conn.send_bytes(key_arr[flat_positions].tobytes())
+                sent.append((worker_index, entries))
+            obs_profile.end("parallel.dispatch", dispatch_token, units=len(keys))
+            collect_token = obs_profile.begin()
+            replies, failures = self._drain([w for w, _ in sent], with_payload=True)
+            self._raise_failures(failures)
+            for worker_index, entries in sent:
+                count, payload = replies[worker_index]
+                values = decode_values(payload, count)
+                cursor = 0
+                for _, positions in entries:
+                    for position in positions:
+                        results[position] = values[cursor]
+                        cursor += 1
+            obs_profile.end("parallel.collect", collect_token, units=len(keys))
+            return results
 
     # ------------------------------------------------------------------
     # KVStore interface
@@ -456,19 +467,24 @@ class ParallelShardStore(KVStore, CheckpointManager):
         self._check_open()
         self._check_writable()
         keys, values = self._normalize_pairs(keys, values)
-        by_worker = self._group_by_worker(self._partition(keys))
-        sent = []
-        for worker_index, entries in by_worker.items():
-            sub_keys = [keys[p] for _, positions in entries for p in positions]
-            sub_values = [values[p] for _, positions in entries for p in positions]
-            _, conn = self._workers[worker_index]
-            conn.send(
-                ("multi_put", [(shard, len(positions)) for shard, positions in entries])
-            )
-            conn.send_bytes(bytes(encode_records(sub_keys, sub_values)))
-            sent.append(worker_index)
-        _, failures = self._drain(sent)
-        self._raise_failures(failures)
+        with obs_span("kv.parallel_fanout", op="multi_put", keys=len(keys)):
+            dispatch_token = obs_profile.begin()
+            by_worker = self._group_by_worker(self._partition(keys))
+            sent = []
+            for worker_index, entries in by_worker.items():
+                sub_keys = [keys[p] for _, positions in entries for p in positions]
+                sub_values = [values[p] for _, positions in entries for p in positions]
+                _, conn = self._workers[worker_index]
+                conn.send(
+                    ("multi_put", [(shard, len(positions)) for shard, positions in entries])
+                )
+                conn.send_bytes(bytes(encode_records(sub_keys, sub_values)))
+                sent.append(worker_index)
+            obs_profile.end("parallel.dispatch", dispatch_token, units=len(keys))
+            collect_token = obs_profile.begin()
+            _, failures = self._drain(sent)
+            self._raise_failures(failures)
+            obs_profile.end("parallel.collect", collect_token, units=len(keys))
 
     def multi_rmw(self, keys, update) -> list:
         """Server-side batched RMW when ``update`` ships; central otherwise.
@@ -586,6 +602,13 @@ class ParallelShardStore(KVStore, CheckpointManager):
     def close(self) -> None:
         if self._closed:
             return
+        # Final counter snapshot before the workers die — without it the
+        # worker-side StoreStats would be lost with the processes and a
+        # post-run `stats` read would see nothing (or raise).
+        try:
+            self._stats_cache = self._collect_stats()
+        except (EOFError, OSError, BrokenPipeError, StorageError):
+            pass  # a dead worker forfeits its final counters, not close()
         self._closed = True
         for process, conn in self._workers:
             try:
@@ -607,8 +630,26 @@ class ParallelShardStore(KVStore, CheckpointManager):
     # ------------------------------------------------------------------
     @property
     def stats(self) -> StoreStats:
-        """Aggregated snapshot of all worker-side engine counters."""
-        self._check_open()
+        """Aggregated snapshot of all worker-side engine counters.
+
+        Live stores fetch fresh counters from every worker; a closed
+        store answers from the final snapshot :meth:`close` took before
+        tearing the workers down, so the counters a run accumulated are
+        never lost with the worker processes.
+        """
+        if self._closed:
+            if self._stats_cache is not None:
+                return self._stats_cache
+            raise StorageError(
+                "parallel store is closed and its workers died before a "
+                "final stats snapshot could be taken"
+            )
+        total = self._collect_stats()
+        self._stats_cache = total
+        return total
+
+    def _collect_stats(self) -> StoreStats:
+        """One stats round trip to every worker, merged into one view."""
         for _, conn in self._workers:
             conn.send(("stats",))
         replies, failures = self._drain(range(len(self._workers)))

@@ -47,6 +47,8 @@ from repro.device.clock import ReplicaVersionClock
 from repro.errors import CheckpointError, ConfigError, StorageError
 from repro.kv.api import CheckpointManager, KVStore, StoreStats
 from repro.kv.sharded import shard_hash
+from repro.obs.trace import instant as obs_instant
+from repro.obs.trace import span as obs_span
 
 READ_POLICIES = ("one", "quorum")
 
@@ -463,15 +465,28 @@ class ReplicatedKVStore(KVStore, CheckpointManager):
             group = self.groups[shard]
             sub_keys = [keys[position] for position in positions]
             if self.read_policy == "quorum":
-                sub_results = self._quorum_multi(group, sub_keys, snapshot)
+                with obs_span(
+                    "kv.replica_read",
+                    shard=shard,
+                    policy="quorum",
+                    keys=len(sub_keys),
+                ):
+                    sub_results = self._quorum_multi(group, sub_keys, snapshot)
             else:
                 replica = self._read_replica(group)
                 reader = group.replicas[replica]
-                sub_results = (
-                    reader.snapshot_read_many(sub_keys)
-                    if snapshot
-                    else reader.multi_get(sub_keys)
-                )
+                with obs_span(
+                    "kv.replica_read",
+                    clock=getattr(reader, "clock", None),
+                    shard=shard,
+                    replica=replica,
+                    keys=len(sub_keys),
+                ):
+                    sub_results = (
+                        reader.snapshot_read_many(sub_keys)
+                        if snapshot
+                        else reader.multi_get(sub_keys)
+                    )
             for position, value in zip(positions, sub_results):
                 results[position] = value
         return results
@@ -534,10 +549,17 @@ class ReplicatedKVStore(KVStore, CheckpointManager):
         keys, values = self._normalize_pairs(keys, values)
         for shard, positions in self._partition_keys(keys).items():
             self._shard_ops[shard] += len(positions)
-            self.groups[shard].fanout_multi_put(
-                [keys[position] for position in positions],
-                [values[position] for position in positions],
-            )
+            group = self.groups[shard]
+            with obs_span(
+                "kv.replica_write",
+                shard=shard,
+                live_replicas=len(group.live_indices()),
+                keys=len(positions),
+            ):
+                group.fanout_multi_put(
+                    [keys[position] for position in positions],
+                    [values[position] for position in positions],
+                )
 
     def multi_rmw(self, keys, update: Callable[[list, list], list]) -> list:
         """Batched :meth:`rmw`: the parameter-server apply hook.
@@ -576,10 +598,24 @@ class ReplicatedKVStore(KVStore, CheckpointManager):
     def fail_replica(self, shard: int, replica: int) -> None:
         """Kill one replica; reads and writes route around it."""
         self.groups[shard].fail(replica)
+        obs_instant(
+            "chaos.fail_replica",
+            clock=getattr(self, "clock", None),
+            shard=shard,
+            replica=replica,
+        )
 
     def revive_replica(self, shard: int, replica: int, catch_up: bool = True) -> int:
         """Bring a replica back (hinted catch-up unless ``catch_up=False``)."""
-        return self.groups[shard].revive(replica, catch_up=catch_up)
+        replayed = self.groups[shard].revive(replica, catch_up=catch_up)
+        obs_instant(
+            "chaos.revive_replica",
+            clock=getattr(self, "clock", None),
+            shard=shard,
+            replica=replica,
+            replayed=replayed,
+        )
+        return replayed
 
     def catch_up_replica(self, shard: int, replica: int) -> int:
         """Replay missed writes onto a live, lagging replica."""

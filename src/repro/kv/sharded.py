@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.errors import CheckpointError, ConfigError
 from repro.kv.api import CheckpointManager, KVStore, StoreStats
+from repro.obs.trace import span as obs_span
 
 _MASK64 = (1 << 64) - 1
 
@@ -206,9 +207,16 @@ class ShardedKVStore(KVStore, CheckpointManager):
         results: list = [None] * len(keys)
         for shard, positions in self._partition_keys(keys).items():
             self._shard_ops[shard] += len(positions)
-            sub_results = self.shards[shard].multi_get(
-                [keys[position] for position in positions]
-            )
+            with obs_span(
+                "kv.shard",
+                clock=getattr(self.shards[shard], "clock", None),
+                shard=shard,
+                op="multi_get",
+                keys=len(positions),
+            ):
+                sub_results = self.shards[shard].multi_get(
+                    [keys[position] for position in positions]
+                )
             for position, value in zip(positions, sub_results):
                 results[position] = value
         return results
@@ -222,10 +230,17 @@ class ShardedKVStore(KVStore, CheckpointManager):
         keys, values = self._normalize_pairs(keys, values)
         for shard, positions in self._partition_keys(keys).items():
             self._shard_ops[shard] += len(positions)
-            self.shards[shard].multi_put(
-                [keys[position] for position in positions],
-                [values[position] for position in positions],
-            )
+            with obs_span(
+                "kv.shard",
+                clock=getattr(self.shards[shard], "clock", None),
+                shard=shard,
+                op="multi_put",
+                keys=len(positions),
+            ):
+                self.shards[shard].multi_put(
+                    [keys[position] for position in positions],
+                    [values[position] for position in positions],
+                )
             if shard in self._migrations:
                 for position in positions:
                     self._note_write(shard, keys[position])
@@ -254,9 +269,16 @@ class ShardedKVStore(KVStore, CheckpointManager):
         results: list = [None] * len(keys)
         for shard, positions in self._partition_keys(keys).items():
             self._shard_ops[shard] += len(positions)
-            sub_results = self.shards[shard].snapshot_read_many(
-                [keys[position] for position in positions]
-            )
+            with obs_span(
+                "kv.shard",
+                clock=getattr(self.shards[shard], "clock", None),
+                shard=shard,
+                op="snapshot_read_many",
+                keys=len(positions),
+            ):
+                sub_results = self.shards[shard].snapshot_read_many(
+                    [keys[position] for position in positions]
+                )
             for position, value in zip(positions, sub_results):
                 results[position] = value
         return results

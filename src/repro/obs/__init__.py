@@ -1,0 +1,60 @@
+"""Cross-layer observability: metrics registry, tracing, profiling.
+
+``repro.obs`` is the one substrate every layer (device sim, KV engines,
+sharded/replicated/parallel stores, serving, distributed training)
+routes its instrumentation through:
+
+* :mod:`repro.obs.registry` — labeled counters / gauges / histograms
+  with per-component namespaces, JSON and Prometheus-text export, and
+  adapters that absorb the existing ad-hoc telemetry blocks
+  (``StoreStats``, ``ServingTelemetry``, replication health) into one
+  tree.  A disabled registry hands out shared no-op singletons, so the
+  instrumented hot paths allocate nothing when observability is off.
+* :mod:`repro.obs.trace` — spans carrying *both* simulated-clock and
+  wall-clock timestamps with parent/child causality, exported as Chrome
+  ``trace_event`` JSON (open in ``chrome://tracing`` or Perfetto);
+  ``python -m repro.obs.trace view FILE`` summarizes critical paths.
+* :mod:`repro.obs.profile` — wall-time phase attribution for the
+  hottest batch paths (gather/scatter, record codec, parallel fan-out);
+  a disabled profiler costs one global read per hook.
+
+Layering: this package sits *beside* the stack, not inside it — it
+imports nothing from ``repro.kv`` / ``repro.serve`` / ``repro.train``
+(the adapters duck-type their inputs), so any layer may import it
+without cycles.  Everything is disabled by default; nothing records
+until a test, bench, or operator opts in.
+"""
+
+from repro.obs import profile
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Namespace,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    active_tracer,
+    install_tracer,
+    instant,
+    span,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Namespace",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "install_tracer",
+    "instant",
+    "profile",
+    "span",
+    "uninstall_tracer",
+]

@@ -1,0 +1,96 @@
+"""Hot-path wall-time profiler: phase attribution with near-zero off cost.
+
+The PR-8 hot paths (vectorized gather/scatter, the batch record codec,
+process-parallel shard fan-out) are real-time optimizations, so their
+profiles must be wall-clock — but the hooks live inside simulated
+components, so they have to cost essentially nothing when profiling is
+off.  The contract:
+
+* ``begin()`` returns a start token.  Disabled it is one module-global
+  read and a constant return — no ``perf_counter`` call, no allocation.
+* ``end(phase, token, units=n)`` attributes the elapsed wall time (and
+  optionally a unit count, e.g. keys moved) to ``phase``.  Disabled it
+  is the same single global read.
+
+Phases accumulate into plain counters; :func:`snapshot` renders them as
+``{phase: {"calls", "seconds", "units", "units_per_s"}}`` for reports
+and the ``BENCH_obs_overhead`` bench.  The profiler is process-local by
+design: forked fan-out workers profile their own process and the parent
+profiles the dispatch/drain side it actually executes.
+"""
+
+from __future__ import annotations
+
+import time
+
+_ENABLED = False
+
+#: phase -> [calls, seconds, units]
+_PHASES: dict[str, list[float]] = {}
+
+
+def enable() -> None:
+    """Start attributing wall time to phases (hooks become live)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Return the hooks to their near-zero disabled cost."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def is_enabled() -> bool:
+    return _ENABLED
+
+
+def begin() -> float:
+    """Start token for a phase; 0.0 (no clock read) while disabled."""
+    if not _ENABLED:
+        return 0.0
+    return time.perf_counter()
+
+
+def end(phase: str, token: float, units: int = 0) -> None:
+    """Attribute the wall time since ``token`` (and ``units`` work items)
+    to ``phase``.  A no-op while disabled."""
+    if not _ENABLED:
+        return
+    elapsed = time.perf_counter() - token
+    bucket = _PHASES.get(phase)
+    if bucket is None:
+        bucket = _PHASES[phase] = [0.0, 0.0, 0.0]
+    bucket[0] += 1
+    bucket[1] += elapsed
+    bucket[2] += units
+
+
+def reset() -> None:
+    """Drop every accumulated phase."""
+    _PHASES.clear()
+
+
+def snapshot() -> dict[str, dict[str, float]]:
+    """Accumulated phases as a plain dict (stable key order)."""
+    report: dict[str, dict[str, float]] = {}
+    for phase in sorted(_PHASES):
+        calls, seconds, units = _PHASES[phase]
+        report[phase] = {
+            "calls": calls,
+            "seconds": seconds,
+            "units": units,
+            "units_per_s": (units / seconds) if seconds > 0 else 0.0,
+        }
+    return report
+
+
+__all__ = [
+    "begin",
+    "disable",
+    "enable",
+    "end",
+    "is_enabled",
+    "reset",
+    "snapshot",
+]

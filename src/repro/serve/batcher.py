@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
+from repro.obs.trace import span as obs_span
 from repro.serve.request import Request, RequestQueue
 
 
@@ -81,21 +82,24 @@ class MicroBatcher:
 
     def form(self, queue: RequestQueue) -> CoalescedBatch:
         """Drain up to ``max_batch`` requests and coalesce duplicates."""
-        requests = queue.take(self.policy.max_batch)
-        batch = CoalescedBatch(requests=requests)
-        index_of: dict[int, int] = {}
-        for request in requests:
-            slot = index_of.get(request.key)
-            if slot is None:
-                index_of[request.key] = len(batch.unique_keys)
-                batch.unique_keys.append(request.key)
-                batch.waiters.append([request])
-            else:
-                batch.waiters[slot].append(request)
-        self.batches_formed += 1
-        self.requests_batched += batch.size
-        self.requests_coalesced += batch.coalesced
-        return batch
+        # The batcher is clock-free, so the span leans on the tracer's
+        # default clock (or wall offsets) for its timeline.
+        with obs_span("batcher.form", queued=len(queue)):
+            requests = queue.take(self.policy.max_batch)
+            batch = CoalescedBatch(requests=requests)
+            index_of: dict[int, int] = {}
+            for request in requests:
+                slot = index_of.get(request.key)
+                if slot is None:
+                    index_of[request.key] = len(batch.unique_keys)
+                    batch.unique_keys.append(request.key)
+                    batch.waiters.append([request])
+                else:
+                    batch.waiters[slot].append(request)
+            self.batches_formed += 1
+            self.requests_batched += batch.size
+            self.requests_coalesced += batch.coalesced
+            return batch
 
     def deadline(self, oldest_arrival: float) -> float:
         """Latest service start for a batch whose oldest waiter arrived at

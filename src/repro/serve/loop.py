@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.lookahead import LookaheadEngine
+from repro.obs.trace import span as obs_span
 from repro.serve.batcher import BatchPolicy, CoalescedBatch, MicroBatcher
 from repro.serve.request import RequestQueue
 from repro.serve.server import EmbeddingServer
@@ -94,8 +95,9 @@ class ServingLoop:
             depth = len(self.queue) + arrivals.backlog(clock.now)
             if prefetcher is not None:
                 prefetcher.advance(batch_index)
-            batch = self.batcher.form(self.queue)
-            self._serve(batch)
+            with obs_span("serve.batch", clock=clock, batch=batch_index, depth=depth):
+                batch = self.batcher.form(self.queue)
+                self._serve(batch)
             completed_at = clock.now
             for request in batch.requests:
                 request.completed_at = completed_at

@@ -48,6 +48,7 @@ from repro.core.staleness import ASP_BOUND
 from repro.errors import ConfigError, ServingError
 from repro.kv import KVStore, decode_vector
 from repro.nn.tensor import Tensor
+from repro.obs.trace import span as obs_span
 from repro.serve.cache import AdmissionCache
 from repro.serve.telemetry import ServingTelemetry
 from repro.train.loop import BaseTrainer
@@ -249,10 +250,13 @@ class EmbeddingServer:
         hits_before, misses_before = stats.hits, stats.misses
         refresh_hits_before = self._refresh_hits
         refresh_misses_before = self._refresh_misses
-        if self.read_mode == "bounded":
-            raws = self.store.multi_get(keys)
-        else:
-            raws = self.store.snapshot_read_many(keys)
+        with obs_span(
+            "serve.fetch", clock=self._clock, mode=self.read_mode, keys=len(keys)
+        ):
+            if self.read_mode == "bounded":
+                raws = self.store.multi_get(keys)
+            else:
+                raws = self.store.snapshot_read_many(keys)
         stats = self.store.stats  # sharded stores build a fresh snapshot
         absent = sum(1 for raw in raws if raw is None)
         hit_delta = (stats.hits - hits_before) - (

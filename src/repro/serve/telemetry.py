@@ -64,21 +64,50 @@ class LatencyHistogram:
     def percentile(self, p: float) -> float:
         """Upper bound of the bucket holding the ``p``-th percentile.
 
-        Returns 0 for an empty histogram.  ``p`` is in [0, 100].
+        Returns 0 for an empty histogram.  ``p`` is in [0, 100].  The
+        target rank is clamped to at least one sample so ``p=0`` reports
+        the smallest occupied bucket (not the histogram floor), and the
+        bucket's upper edge is clamped to ``max_seen`` so a sparse
+        histogram (one sample, or all samples maximal) never reports a
+        latency larger than any it actually saw.
         """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if self.count == 0:
             return 0.0
-        target = math.ceil(self.count * p / 100.0)
+        target = max(1, math.ceil(self.count * p / 100.0))
         seen = 0
         for index, bucket_count in enumerate(self._counts):
             seen += bucket_count
             if seen >= target:
                 if index == len(self._counts) - 1:
                     return self.max_seen  # overflow bucket: exact max
-                return self._bucket_upper(index)
+                return min(self._bucket_upper(index), self.max_seen)
         return self.max_seen
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other``'s samples into this histogram (in place).
+
+        Only histograms with identical bucketing merge exactly; anything
+        else would silently smear counts across bucket boundaries, so a
+        geometry mismatch raises instead.  Returns ``self`` so merges
+        chain: ``total.merge(a).merge(b)``.
+        """
+        if not isinstance(other, LatencyHistogram):
+            raise TypeError(f"cannot merge {type(other).__name__} into LatencyHistogram")
+        if (
+            other._min != self._min
+            or other._bucket_count != self._bucket_count
+            or other._log_width != self._log_width
+        ):
+            raise ValueError("cannot merge histograms with different bucket geometry")
+        for index, bucket_count in enumerate(other._counts):
+            self._counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.max_seen > self.max_seen:
+            self.max_seen = other.max_seen
+        return self
 
     @property
     def mean(self) -> float:

@@ -29,6 +29,7 @@ from repro.errors import ConfigError, StalenessViolation
 from repro.kv import decode_vector, encode_vector
 from repro.nn.layers import Module
 from repro.nn.optim import Adam, RowAdagrad
+from repro.obs.trace import span as obs_span
 from repro.train.loop import TrainerConfig
 
 
@@ -179,8 +180,14 @@ class ParameterServer:
                 f"exceeds the cross-worker bound {self.staleness_bound}"
             )
         self.pulls += 1
-        rows = self.tables.get(unique_keys)
-        dense = [param.data.copy() for param in self.network.parameters()]
+        with obs_span(
+            "ps.pull",
+            clock=getattr(self.store, "clock", None),
+            worker=worker_id,
+            keys=len(unique_keys),
+        ):
+            rows = self.tables.get(unique_keys)
+            dense = [param.data.copy() for param in self.network.parameters()]
         return rows, dense
 
     def push_deltas(self, packet: PushPacket) -> bool:
@@ -193,8 +200,15 @@ class ParameterServer:
         if packet.batch_index in self.applied_batches:
             self.rejected_pushes += 1
             return False
-        self._apply_dense([packet.dense_grads])
-        self._apply_emb(packet.keys, packet.emb_grads)
+        with obs_span(
+            "ps.push",
+            clock=getattr(self.store, "clock", None),
+            worker=packet.worker_id,
+            batch=packet.batch_index,
+            keys=len(packet.keys),
+        ):
+            self._apply_dense([packet.dense_grads])
+            self._apply_emb(packet.keys, packet.emb_grads)
         self.applied_batches[packet.batch_index] = (packet.worker_id, packet.seq)
         self.pushes += 1
         self.progress.complete(packet.worker_id)
@@ -218,14 +232,19 @@ class ParameterServer:
         self.rejected_pushes += len(packets) - len(fresh)
         if not fresh:
             return 0
-        self._apply_dense([packet.dense_grads for packet in fresh])
-        for packet in fresh:
-            self._apply_emb(packet.keys, packet.emb_grads)
-            self.applied_batches[packet.batch_index] = (
-                packet.worker_id, packet.seq,
-            )
-            self.pushes += 1
-            self.progress.complete(packet.worker_id)
+        with obs_span(
+            "ps.apply_round",
+            clock=getattr(self.store, "clock", None),
+            packets=len(fresh),
+        ):
+            self._apply_dense([packet.dense_grads for packet in fresh])
+            for packet in fresh:
+                self._apply_emb(packet.keys, packet.emb_grads)
+                self.applied_batches[packet.batch_index] = (
+                    packet.worker_id, packet.seq,
+                )
+                self.pushes += 1
+                self.progress.complete(packet.worker_id)
         return len(fresh)
 
     # ------------------------------------------------------------------

@@ -28,7 +28,9 @@ def rules_of(findings):
 class TestEngine:
     def test_registry_has_the_catalog(self):
         names = set(rule_registry())
-        assert {"REP001", "REP002", "REP003", "REP004", "REP005"} <= names
+        assert {
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+        } <= names
 
     def test_module_name_mapping(self):
         assert module_name_for("src/repro/kv/api.py") == "repro.kv.api"
@@ -453,6 +455,75 @@ class TestRep005SetIteration:
         findings = lint_source(
             "total = sum(1 for k in set(range(4)))"
             "  # repro: lint-ignore[REP005] order-free reduction\n"
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP006 — hot paths instrument through repro.obs, not print/stdout
+# ----------------------------------------------------------------------
+class TestRep006InstrumentationViaObs:
+    PATH = "src/repro/kv/fixture.py"
+
+    def test_flags_print_in_hot_path_module(self):
+        findings = lint_source(
+            "def multi_get(self, keys):\n"
+            "    print('served', len(keys))\n"
+            "    return keys\n",
+            path=self.PATH,
+        )
+        assert rules_of(findings) == ["REP006"]
+        assert "repro.obs" in findings[0].message
+
+    def test_flags_raw_stream_writes(self):
+        findings = lint_source(
+            "import sys\n"
+            "def put(self, key, value):\n"
+            "    sys.stderr.write('put\\n')\n"
+            "    sys.stdout.write('ok\\n')\n",
+            path="src/repro/serve/fixture.py",
+        )
+        assert rules_of(findings) == ["REP006", "REP006"]
+
+    def test_applies_across_all_hot_path_layers(self):
+        for path in (
+            "src/repro/core/fixture.py",
+            "src/repro/train/dist/fixture.py",
+            "src/repro/device/fixture.py",
+        ):
+            findings = lint_source("print('x')\n", path=path)
+            assert rules_of(findings) == ["REP006"], path
+
+    def test_obs_handles_pass(self):
+        findings = lint_source(
+            "from repro.obs import profile\n"
+            "from repro.obs.trace import span\n"
+            "def multi_get(self, keys):\n"
+            "    token = profile.begin()\n"
+            "    with span('kv.multi_get', keys=len(keys)):\n"
+            "        out = list(keys)\n"
+            "    profile.end('kv.read', token, units=len(keys))\n"
+            "    return out\n",
+            path=self.PATH,
+        )
+        assert findings == []
+
+    def test_out_of_scope_modules_may_print(self):
+        # repro.obs itself, the analysis tier, and the bench harness all
+        # legitimately write to stdout — they are not hot paths.
+        for path in (
+            "src/repro/obs/fixture.py",
+            "src/repro/analysis/fixture.py",
+            "src/repro/bench/fixture.py",
+        ):
+            findings = lint_source("print('report')\n", path=path)
+            assert "REP006" not in rules_of(findings), path
+
+    def test_pragma_suppresses(self):
+        findings = lint_source(
+            "print('recovery banner')"
+            "  # repro: lint-ignore[REP006] operator-facing CLI output\n",
+            path=self.PATH,
         )
         assert findings == []
 

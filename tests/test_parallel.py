@@ -141,6 +141,38 @@ class TestEquivalence:
         assert stats.hits == 50
         assert stats.misses == 30
 
+    def test_stats_match_serial_wrapper_exactly(self, stores):
+        # Regression: the worker counters must merge into the parent view
+        # with the same totals the serial wrapper reports for the same
+        # operation stream — per-shard attribution included.
+        serial, parallel = stores
+        keys = _load_both(serial, parallel)
+        probe = list(range(0, 5000, 7))
+        serial.multi_get(probe)
+        parallel.multi_get(probe)
+        serial.snapshot_read_many(keys[:100])
+        parallel.snapshot_read_many(keys[:100])
+        a, b = serial.stats, parallel.stats
+        assert (a.gets, a.puts, a.hits, a.misses) == (
+            b.gets, b.puts, b.hits, b.misses,
+        )
+        assert a.extra["shard_ops"] == b.extra["shard_ops"]
+
+    def test_stats_survive_close(self, stores):
+        # Regression: close() used to tear the workers down without
+        # fetching their final counters — the stats died with the
+        # processes.  A closed store now serves the final merged snapshot.
+        _, parallel = stores
+        parallel.multi_put(list(range(60)), [b"y"] * 60)
+        parallel.multi_get(list(range(90)))
+        parallel.close()
+        stats = parallel.stats
+        assert stats.puts == 60
+        assert stats.gets == 90
+        assert stats.hits == 60
+        assert stats.misses == 30
+        assert sum(stats.extra["shard_ops"]) == 150
+
 
 # ----------------------------------------------------------------------
 # read-modify-write: shipped, fallen back, and failure relay

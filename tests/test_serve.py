@@ -164,6 +164,53 @@ class TestTelemetry:
         with pytest.raises(ValueError):
             hist.record(-1.0)
 
+    def test_histogram_empty_and_single_sample(self):
+        # Regression: p=0 used to hit rank 0 and report the histogram
+        # floor; a single sample used to report its bucket's upper edge
+        # (up to 4.6% above the only latency ever seen).
+        empty = LatencyHistogram()
+        assert empty.percentile(0) == 0.0
+        assert empty.percentile(99) == 0.0
+        single = LatencyHistogram()
+        single.record(5e-4)
+        for p in (0, 50, 99, 100):
+            assert single.percentile(p) == 5e-4
+        many = LatencyHistogram()
+        for value in (1e-6, 2e-6, 3e-6):
+            many.record(value)
+        assert many.percentile(0) <= many.percentile(100)
+        assert many.percentile(0) >= 1e-6 * 0.9
+        assert many.percentile(100) <= many.max_seen
+
+    def test_histogram_merge_matches_combined_recording(self):
+        left, right, combined = (
+            LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+        )
+        left_values = [i * 1e-6 for i in range(1, 51)]
+        right_values = [i * 1e-5 for i in range(1, 51)]
+        for value in left_values:
+            left.record(value)
+            combined.record(value)
+        for value in right_values:
+            right.record(value)
+            combined.record(value)
+        merged = left.merge(right)
+        assert merged is left  # chains in place
+        assert left.count == combined.count
+        assert left.total == pytest.approx(combined.total)
+        assert left.max_seen == combined.max_seen
+        for p in (0, 50, 95, 99, 100):
+            assert left.percentile(p) == combined.percentile(p)
+
+    def test_histogram_merge_rejects_mismatched_geometry(self):
+        base = LatencyHistogram()
+        with pytest.raises(ValueError):
+            base.merge(LatencyHistogram(min_latency=1e-6))
+        with pytest.raises(ValueError):
+            base.merge(LatencyHistogram(buckets_per_decade=10))
+        with pytest.raises(TypeError):
+            base.merge(Distribution())
+
     def test_distribution_summary(self):
         dist = Distribution()
         for value in [1, 1, 2, 8]:
