@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-recovery test-dist test-sanitize test-obs serve-smoke bench bench-smoke bench-gate bench-wallclock lint typecheck analyze
+.PHONY: test test-recovery test-dist test-sanitize test-obs serve-smoke serve-mt-smoke bench bench-smoke bench-gate bench-wallclock lint typecheck docs-check analyze
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -33,6 +33,13 @@ test-dist:
 serve-smoke:
 	$(PYTHON) examples/serving_quickstart.py --requests 1000
 
+# Two tenants on one shared sharded store: a flash crowd on the batch
+# tenant sheds it while the interactive tenant's SLO holds, and the
+# autoscaler splits a shard live — the decision log prints so the
+# split is visible.  Asserts isolation + zero lost requests.
+serve-mt-smoke:
+	$(PYTHON) examples/multitenant_quickstart.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
 
@@ -59,7 +66,7 @@ bench-gate:
 	rm -rf results/baselines && mkdir -p results/baselines
 	cp BENCH_*.json results/baselines/
 	touch results/baselines/.gate-start
-	$(PYTHON) -m pytest benchmarks/test_sharded_batched.py benchmarks/test_serving.py benchmarks/test_replicated.py benchmarks/test_dist_scaling.py benchmarks/test_wallclock.py benchmarks/test_obs_overhead.py -q
+	$(PYTHON) -m pytest benchmarks/test_sharded_batched.py benchmarks/test_serving.py benchmarks/test_replicated.py benchmarks/test_dist_scaling.py benchmarks/test_wallclock.py benchmarks/test_obs_overhead.py benchmarks/test_multitenant.py -q
 	$(PYTHON) benchmarks/compare.py --baseline results/baselines --fresh . --tolerance 0.30 --wall-tolerance 0.60 --since results/baselines/.gate-start
 
 # Replication + distributed suites once more under the runtime invariant
@@ -71,10 +78,12 @@ test-sanitize:
 
 # Prefer ruff (fast, wider net) when present; fall back to pyflakes,
 # then to the always-available compileall syntax check.  The repo's own
-# AST linter (REP001-REP006: simulated-clock purity, KV contract
+# AST linter (REP001-REP007: simulated-clock purity, KV contract
 # completeness, storage layering, no swallowed exceptions, no set-order
-# iteration, instrumentation-through-repro.obs) always runs — it has no
-# third-party dependencies.
+# iteration, instrumentation-through-repro.obs, public docstrings on
+# the serving/storage surfaces) always runs — it has no third-party
+# dependencies — and so does the docs checker (intra-repo markdown
+# links, make targets and CI jobs named in the docs must exist).
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
@@ -85,6 +94,13 @@ lint:
 		echo "ruff/pyflakes not installed; compileall check only"; \
 	fi
 	$(PYTHON) -m repro.analysis.lint src tests benchmarks examples
+	$(PYTHON) -m repro.analysis.doccheck
+
+# Docs validation on its own (also part of `make lint`): every
+# intra-repo markdown link resolves, and every make target / CI job a
+# doc mentions actually exists.
+docs-check:
+	$(PYTHON) -m repro.analysis.doccheck
 
 # Strict typing on the contract surfaces (mypy.ini scopes the strict
 # flags to repro.kv.api / repro.device.clock / repro.analysis).  Skips

@@ -1,0 +1,197 @@
+"""Docs checker: the markdown stays true as the repo moves.
+
+Prose rots faster than code because nothing executes it.  This module
+gives the docs an executable contract, gated by ``make lint`` and the
+``docs`` CI job:
+
+* **Intra-repo links resolve** — every relative ``[text](path)`` target
+  in the checked markdown set (README, ROADMAP, CHANGES, ``docs/``)
+  must exist on disk.  External (``http(s)://``, ``mailto:``) and
+  pure-anchor (``#...``) targets are out of scope.
+* **`make <target>` mentions are real** — any ``make X`` inside inline
+  code or a fenced block must name a target the Makefile defines, so a
+  renamed target cannot leave stale instructions behind.
+* **The CI matrix and its docs agree, both ways** — every job defined
+  in ``.github/workflows/ci.yml`` must be mentioned in README (adding a
+  job forces documenting it), and every job name the README's CI table
+  rows lead with must exist in the workflow (removing a job forces
+  pruning its row).
+
+Run it directly with ``python -m repro.analysis.doccheck`` (``make
+docs-check``); it prints one ``path: message`` line per finding and
+exits non-zero when any doc drifted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, Optional
+
+#: Markdown files under the repo root that the checker owns.  PAPER.md /
+#: PAPERS.md / SNIPPETS.md / ISSUE.md are generated or working notes —
+#: they quote external material and planned work, so they are not held
+#: to the link/target contract.
+_ROOT_DOCS = ("README.md", "ROADMAP.md", "CHANGES.md")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^(```|~~~)")
+_INLINE_CODE = re.compile(r"`([^`]+)`")
+_MAKE_MENTION = re.compile(r"\bmake\s+([A-Za-z0-9][A-Za-z0-9_.-]*)")
+_MAKE_TARGET = re.compile(r"^([A-Za-z0-9][A-Za-z0-9_.-]*)\s*:(?!=)")
+_CI_JOB = re.compile(r"^  ([A-Za-z0-9_-]+):\s*$")
+_CI_TABLE_ROW = re.compile(r"^\|\s*`([A-Za-z0-9_-]+)`")
+
+
+def doc_paths(root: str) -> list[str]:
+    """The markdown set this checker owns, relative to ``root``."""
+    paths = [name for name in _ROOT_DOCS if os.path.exists(os.path.join(root, name))]
+    docs_dir = Path(root) / "docs"
+    if docs_dir.is_dir():
+        paths.extend(
+            str(path.relative_to(root)) for path in sorted(docs_dir.rglob("*.md"))
+        )
+    return paths
+
+
+def check_links(root: str, relpath: str, text: str) -> Iterator[str]:
+    """Flag relative link targets that do not exist on disk."""
+    base = Path(root) / Path(relpath).parent
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        if not (base / target).exists() and not (Path(root) / target).exists():
+            yield f"{relpath}: broken link target `{target}`"
+
+
+def _code_spans(text: str) -> Iterator[str]:
+    """Inline code spans plus fenced-block lines — where commands live."""
+    fenced = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            fenced = not fenced
+            continue
+        if fenced:
+            yield line
+        else:
+            yield from _INLINE_CODE.findall(line)
+
+
+def make_targets(root: str) -> set[str]:
+    """Target names the Makefile defines (``.PHONY`` et al excluded)."""
+    makefile = Path(root) / "Makefile"
+    targets: set[str] = set()
+    if not makefile.exists():
+        return targets
+    for line in makefile.read_text().splitlines():
+        match = _MAKE_TARGET.match(line)
+        if match and not match.group(1).startswith("."):
+            targets.add(match.group(1))
+    return targets
+
+
+def check_make_mentions(
+    relpath: str, text: str, targets: set[str]
+) -> Iterator[str]:
+    """Flag ``make X`` mentions (in code context) with no such target."""
+    for span in _code_spans(text):
+        for match in _MAKE_MENTION.finditer(span):
+            name = match.group(1)
+            if name not in targets:
+                yield (
+                    f"{relpath}: `make {name}` is mentioned but the "
+                    "Makefile defines no such target"
+                )
+
+
+def ci_jobs(root: str) -> set[str]:
+    """Job names defined in ``.github/workflows/ci.yml``."""
+    workflow = Path(root) / ".github" / "workflows" / "ci.yml"
+    jobs: set[str] = set()
+    if not workflow.exists():
+        return jobs
+    in_jobs = False
+    for line in workflow.read_text().splitlines():
+        if line.rstrip() == "jobs:":
+            in_jobs = True
+            continue
+        if in_jobs:
+            if line and not line.startswith(" ") and not line.startswith("#"):
+                break  # left the jobs: mapping
+            match = _CI_JOB.match(line)
+            if match:
+                jobs.add(match.group(1))
+    return jobs
+
+
+def check_ci_jobs(root: str, readme_text: str) -> Iterator[str]:
+    """Two-way check between the CI workflow and the README's job table."""
+    defined = ci_jobs(root)
+    mentioned_rows = set(
+        match.group(1)
+        for line in readme_text.splitlines()
+        for match in [_CI_TABLE_ROW.match(line)]
+        if match
+    )
+    for job in sorted(defined):
+        if f"`{job}`" not in readme_text:
+            yield (
+                f"README.md: CI job `{job}` is defined in "
+                ".github/workflows/ci.yml but never documented"
+            )
+    for job in sorted(mentioned_rows - defined):
+        yield (
+            f"README.md: table row documents CI job `{job}` but "
+            ".github/workflows/ci.yml defines no such job"
+        )
+
+
+def check_repo(root: str) -> list[str]:
+    """Run every docs check; returns the full finding list."""
+    findings: list[str] = []
+    targets = make_targets(root)
+    for relpath in doc_paths(root):
+        text = (Path(root) / relpath).read_text()
+        findings.extend(check_links(root, relpath, text))
+        if relpath != "CHANGES.md":  # history lines may cite old targets
+            findings.extend(check_make_mentions(relpath, text, targets))
+    readme = Path(root) / "README.md"
+    if readme.exists():
+        findings.extend(check_ci_jobs(root, readme.read_text()))
+    return findings
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point (``python -m repro.analysis.doccheck``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.doccheck",
+        description=(
+            "Validate the repo's markdown: intra-repo links resolve, "
+            "`make` mentions name real targets, and the CI job table "
+            "matches .github/workflows/ci.yml both ways."
+        ),
+    )
+    parser.add_argument(
+        "--root", default=".", help="repository root (default: cwd)"
+    )
+    args = parser.parse_args(argv)
+    findings = check_repo(args.root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"repro-doccheck: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    checked = len(doc_paths(args.root))
+    print(f"repro-doccheck: {checked} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

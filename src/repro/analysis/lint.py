@@ -255,7 +255,7 @@ def lint_paths(paths: Iterable[str]) -> list[Finding]:
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Repo-specific invariant linter (rules REP001-REP006).",
+        description="Repo-specific invariant linter (rules REP001-REP007).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],

@@ -1,4 +1,4 @@
-"""The built-in rule catalog: REP001-REP006.
+"""The built-in rule catalog: REP001-REP007.
 
 Each rule states one invariant the simulated train/serve stack rests on
 and generic linters cannot express.  Rules scope themselves by module
@@ -14,6 +14,9 @@ REP004  no swallowed broad exceptions in crash-safety-critical modules.
 REP005  no iteration over set values (replay/fan-out nondeterminism).
 REP006  hot-path instrumentation goes through ``repro.obs`` handles,
         never ad-hoc ``print``/stdout writes.
+REP007  every public class and function on the documented API surfaces
+        (``repro.kv``, ``repro.serve``, ``repro.obs``,
+        ``repro.train.dist``) carries a docstring.
 """
 
 from __future__ import annotations
@@ -552,11 +555,91 @@ class InstrumentationViaObs(LintRule):
                 )
 
 
+# ----------------------------------------------------------------------
+# REP007 — the storage, serving, observability and distributed-training
+# packages are the repo's documented API surfaces: operators follow
+# docs/OPERATIONS.md into these modules, and an undocumented public name
+# is an API the next reader has to reverse-engineer.  Private names
+# (leading underscore, which covers dunders), property setters/deleters
+# (the getter carries the doc) and typing overloads are out of scope.
+# ----------------------------------------------------------------------
+
+_DOCUMENTED_PREFIXES = ("repro.kv", "repro.serve", "repro.obs", "repro.train.dist")
+
+
+def _is_setter_or_deleter(node: ast.FunctionDef) -> bool:
+    return any(
+        isinstance(decorator, ast.Attribute)
+        and decorator.attr in ("setter", "deleter")
+        for decorator in node.decorator_list
+    )
+
+
+def _is_overload(node: ast.FunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(
+            target, "id", None
+        )
+        if name == "overload":
+            return True
+    return False
+
+
+@register
+class PublicDocstrings(LintRule):
+    name = "REP007"
+    summary = (
+        "every public class and function in repro.kv / repro.serve / "
+        "repro.obs / repro.train.dist carries a docstring"
+    )
+
+    def applies(self, module: Optional[str]) -> bool:
+        return module is not None and any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in _DOCUMENTED_PREFIXES
+        )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        yield from self._check_body(source, source.tree.body, owner=None)
+
+    def _check_body(
+        self, source: SourceFile, body: list[ast.stmt], owner: Optional[str]
+    ) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if node.name.startswith("_"):
+                    continue
+                if ast.get_docstring(node) is None:
+                    yield source.finding(
+                        self.name, node,
+                        f"public class `{node.name}` has no docstring; this "
+                        "package is a documented API surface",
+                    )
+                yield from self._check_body(source, node.body, owner=node.name)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if (
+                    node.name.startswith("_")
+                    or _is_setter_or_deleter(node)
+                    or _is_overload(node)
+                ):
+                    continue
+                if ast.get_docstring(node) is None:
+                    label = f"{owner}.{node.name}" if owner else node.name
+                    kind = "method" if owner else "function"
+                    yield source.finding(
+                        self.name, node,
+                        f"public {kind} `{label}` has no docstring; this "
+                        "package is a documented API surface",
+                    )
+
+
 __all__: Iterable[str] = [
     "InstrumentationViaObs",
     "KVContractCompleteness",
     "NoSetIteration",
     "NoSwallowedBroadExceptions",
+    "PublicDocstrings",
     "SimulatedClockPurity",
     "StorageLayering",
 ]

@@ -16,7 +16,14 @@ from repro.data.ebay import make_trisk_graph, make_payout_graph
 from repro.data.ycsb import YCSBWorkload, ZipfianGenerator, UniformGenerator
 from repro.data.sampling import NeighborSampler, NegativeSampler
 from repro.data.registry import DATASETS, DatasetSpec, table2_rows
-from repro.data.arrivals import PoissonProcess, ThinkTimeProcess
+from repro.data.arrivals import (
+    DiurnalProcess,
+    FlashCrowdProcess,
+    HotKeyStorm,
+    ModulatedPoissonProcess,
+    PoissonProcess,
+    ThinkTimeProcess,
+)
 
 __all__ = [
     "CTRDataset",
@@ -32,6 +39,10 @@ __all__ = [
     "DATASETS",
     "DatasetSpec",
     "table2_rows",
+    "DiurnalProcess",
+    "FlashCrowdProcess",
+    "HotKeyStorm",
+    "ModulatedPoissonProcess",
     "PoissonProcess",
     "ThinkTimeProcess",
 ]

@@ -34,6 +34,7 @@ class StoreStats:
     extra: dict[str, Any] = field(default_factory=dict)
 
     def hit_ratio(self) -> float:
+        """Hits over total lookups; 0.0 before any lookup."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 

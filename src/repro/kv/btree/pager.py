@@ -35,6 +35,7 @@ class PageStore:
         self._live_bytes = 0
 
     def allocate(self) -> int:
+        """Reserve and return the next page id (no bytes written yet)."""
         page_id = self._next_page_id
         self._next_page_id += 1
         return page_id
@@ -54,6 +55,7 @@ class PageStore:
         self.ssd.sequential_write(_LEN.size + len(data), blocking=blocking)
 
     def read(self, page_id: int, blocking: bool = True) -> bytes:
+        """Return a page's current bytes, charging the device for the read."""
         extent = self._table.get(page_id)
         if extent is None:
             raise StorageError(f"page {page_id} not on disk")
@@ -69,9 +71,11 @@ class PageStore:
         return data
 
     def contains(self, page_id: int) -> bool:
+        """Whether the page id has a written extent."""
         return page_id in self._table
 
     def garbage_ratio(self) -> float:
+        """Fraction of file bytes held by superseded page versions."""
         if self._end_offset == 0:
             return 0.0
         return 1.0 - self._live_bytes / self._end_offset
@@ -90,6 +94,8 @@ class PageStore:
             self.write(page_id, data, blocking=False)
 
     def checkpoint(self, meta_path: str, root_page: int) -> None:
+        """Durably sync the page file, then write the meta header naming
+        ``root_page``."""
         self._file.flush()
         os.fsync(self._file.fileno())
         meta = {
@@ -119,5 +125,6 @@ class PageStore:
         return store, meta["root_page"]
 
     def close(self) -> None:
+        """Flush and close the backing file."""
         self._file.flush()
         self._file.close()

@@ -165,9 +165,11 @@ class BTreeKV(KVStore, CheckpointManager):
     # ------------------------------------------------------------------
     @property
     def stats(self) -> StoreStats:
+        """Live counter block for this engine."""
         return self._stats
 
     def get(self, key: int) -> Optional[bytes]:
+        """Point lookup down the tree; counts a hit or miss."""
         self._charge_cpu()
         self._stats.gets += 1
         node = self._load(self.root_page)
@@ -207,6 +209,7 @@ class BTreeKV(KVStore, CheckpointManager):
         return page_id, node, path, upper
 
     def put(self, key: int, value: bytes) -> None:
+        """Insert or overwrite one record, splitting full nodes on the way."""
         self._check_writable()
         self._charge_cpu()
         self._stats.puts += 1
@@ -322,6 +325,7 @@ class BTreeKV(KVStore, CheckpointManager):
                 leaf = None  # structure changed: re-descend for the next key
 
     def delete(self, key: int) -> bool:
+        """Remove a key; returns whether it existed."""
         self._check_writable()
         self._charge_cpu()
         self._stats.deletes += 1
@@ -340,6 +344,7 @@ class BTreeKV(KVStore, CheckpointManager):
         return False
 
     def scan(self) -> Iterator[tuple[int, bytes]]:
+        """All live records in ascending key order."""
         yield from self._scan_node(self.root_page)
 
     def _scan_node(self, page_id: int) -> Iterator[tuple[int, bytes]]:
@@ -376,6 +381,7 @@ class BTreeKV(KVStore, CheckpointManager):
         return cls(directory, **kwargs)
 
     def close(self) -> None:
+        """Checkpoint, then close the pager."""
         if not self._closed:
             self.checkpoint()
             self.pager.close()

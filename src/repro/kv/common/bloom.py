@@ -46,17 +46,21 @@ class BloomFilter:
             yield (h1 + i * h2) % self.num_bits
 
     def add(self, key: int) -> None:
+        """Set the key's hash bit positions."""
         for pos in self._positions(key):
             self._bits[pos >> 3] |= 1 << (pos & 7)
 
     def may_contain(self, key: int) -> bool:
+        """False means definitely absent; True means probably present."""
         return all(self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key))
 
     def to_bytes(self) -> bytes:
+        """Serialize the bit array (pair with :meth:`from_bytes`)."""
         return bytes(self._bits)
 
     @classmethod
     def from_bytes(cls, data: bytes, num_bits: int, num_hashes: int) -> "BloomFilter":
+        """Rebuild a filter from :meth:`to_bytes` output and its geometry."""
         filt = cls.__new__(cls)
         filt.num_bits = num_bits
         filt.num_hashes = num_hashes

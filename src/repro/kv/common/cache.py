@@ -37,6 +37,7 @@ class LRUCache:
         return key in self._entries
 
     def get(self, key: object, default: object = None) -> object:
+        """Return the entry and mark it most-recently used."""
         if key in self._entries:
             self._entries.move_to_end(key)
             self.hits += 1
@@ -49,6 +50,7 @@ class LRUCache:
         return self._entries.get(key, default)
 
     def put(self, key: object, value: object) -> None:
+        """Insert or refresh an entry, evicting the LRU victim when full."""
         if self.capacity == 0:
             # Zero capacity is write-through: the entry is evicted at
             # admission, and the callback must still fire so dirty-page
@@ -65,15 +67,19 @@ class LRUCache:
                 self._on_evict(evicted_key, evicted_value)
 
     def pop(self, key: object, default: object = None) -> object:
+        """Remove and return an entry without counting a hit or miss."""
         return self._entries.pop(key, default)
 
     def clear(self) -> None:
+        """Drop every entry (the hit/miss counters are kept)."""
         self._entries.clear()
 
     def keys(self):
+        """Current keys, least- to most-recently used."""
         return list(self._entries.keys())
 
     def hit_ratio(self) -> float:
+        """Hits over total lookups; 0.0 before any lookup."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -104,6 +110,7 @@ class ClockCache:
         return key in self._values
 
     def get(self, key: object, default: object = None) -> object:
+        """Return the entry and set its referenced bit."""
         if key in self._values:
             self._referenced[key] = True
             self.hits += 1
@@ -112,6 +119,7 @@ class ClockCache:
         return default
 
     def put(self, key: object, value: object) -> None:
+        """Insert an entry, sweeping the clock hand to find a victim."""
         if self.capacity == 0:
             # Same write-through contract as LRUCache: never drop a value
             # without giving the eviction callback a chance to persist it.
@@ -149,8 +157,10 @@ class ClockCache:
             return
 
     def pop(self, key: object, default: object = None) -> object:
+        """Remove and return an entry without counting a hit or miss."""
         self._referenced.pop(key, None)
         return self._values.pop(key, default)
 
     def keys(self):
+        """Current keys in insertion order."""
         return list(self._values.keys())

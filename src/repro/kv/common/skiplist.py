@@ -68,6 +68,7 @@ class SkipList:
         self._size += 1
 
     def get(self, key: int, default: object = None) -> object:
+        """Point lookup; ``default`` when the key is absent."""
         node = self._head
         for i in range(self._level - 1, -1, -1):
             while node.forward[i] is not None and node.forward[i].key < key:
@@ -103,5 +104,6 @@ class SkipList:
             node = node.forward[0]
 
     def first_key(self) -> Optional[int]:
+        """Smallest key, or ``None`` when empty."""
         node = self._head.forward[0]
         return None if node is None else node.key

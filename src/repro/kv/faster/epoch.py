@@ -29,6 +29,7 @@ class EpochManager:
 
     @property
     def current(self) -> int:
+        """The current global epoch number."""
         return self._current
 
     def enter(self) -> int:
@@ -72,10 +73,12 @@ class EpochManager:
         return ready
 
     def active_threads(self) -> int:
+        """Threads currently registered in an epoch."""
         with self._lock:
             return len(self._thread_epochs)
 
     def pending_actions(self) -> int:
+        """Deferred actions awaiting epoch-safe execution."""
         with self._lock:
             return len(self._drain_list)
 

@@ -70,6 +70,7 @@ class HashIndex:
         return True
 
     def remove(self, key: int) -> bool:
+        """Drop the key's entry; returns whether it was present."""
         bucket = self._bucket_for(key)
         for i, (entry_key, _) in enumerate(bucket):
             if entry_key == key:
@@ -79,6 +80,7 @@ class HashIndex:
         return False
 
     def items(self) -> Iterator[tuple[int, int]]:
+        """All ``(key, log address)`` entries, bucket by bucket."""
         for bucket in self._buckets:
             yield from bucket
 
@@ -93,4 +95,5 @@ class HashIndex:
 
     @property
     def bucket_count(self) -> int:
+        """Number of hash buckets."""
         return len(self._buckets)

@@ -91,12 +91,15 @@ class HybridLog:
         return address % self.page_bytes
 
     def in_memory(self, address: int) -> bool:
+        """Whether the address is at or above the in-memory head."""
         return address >= self.head_address
 
     def in_mutable(self, address: int) -> bool:
+        """Whether the address is in the mutable (in-place-update) region."""
         return address >= self.read_only_address
 
     def memory_bytes_used(self) -> int:
+        """Bytes held by the resident pages between head and tail."""
         head_page = self._page_no(self.head_address)
         tail_page = self._page_no(self.tail_address)
         return (tail_page - head_page + 1) * self.page_bytes
@@ -327,6 +330,7 @@ class HybridLog:
                     address += RECORD_HEADER_BYTES + value_len
 
     def close(self) -> None:
+        """Flush and close the log file."""
         if not self._closed:
             self._file.flush()
             self._file.close()

@@ -85,9 +85,11 @@ class RecordWord:
         self._lock = self._STRIPES[(id(page) ^ offset) % len(self._STRIPES)]
 
     def load(self) -> int:
+        """Read the packed header word from the page."""
         return _WORD.unpack_from(self._page, self._offset)[0]
 
     def store(self, word: int) -> None:
+        """Write the packed header word back to the page."""
         _WORD.pack_into(self._page, self._offset, word)
 
     def compare_and_swap(self, expected: int, desired: int) -> bool:
@@ -99,6 +101,7 @@ class RecordWord:
             return True
 
     def fields(self) -> tuple[bool, bool, int, int]:
+        """Unpack the header word into its fields."""
         return unpack_word(self.load())
 
     def set_replaced(self) -> None:

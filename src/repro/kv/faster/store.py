@@ -104,9 +104,11 @@ class FasterKV(KVStore, CheckpointManager):
     # ------------------------------------------------------------------
     @property
     def stats(self) -> StoreStats:
+        """Live counter block for this engine."""
         return self._stats
 
     def get(self, key: int) -> Optional[bytes]:
+        """Point lookup through the hash index into the hybrid log."""
         self._charge_cpu()
         self._stats.gets += 1
         with self.epochs.guard():
@@ -128,6 +130,7 @@ class FasterKV(KVStore, CheckpointManager):
         return value
 
     def put(self, key: int, value: bytes) -> None:
+        """Upsert: in place in the mutable region, appended otherwise."""
         self._check_writable()
         self._charge_cpu()
         self._stats.puts += 1
@@ -196,6 +199,7 @@ class FasterKV(KVStore, CheckpointManager):
                     self._upsert(key, value)
 
     def rmw(self, key: int, update: Callable[[Optional[bytes]], bytes]) -> bytes:
+        """Read-modify-write one record through ``update``."""
         self._check_writable()
         self._charge_cpu()
         self._stats.gets += 1
@@ -216,6 +220,7 @@ class FasterKV(KVStore, CheckpointManager):
             return new_value
 
     def delete(self, key: int) -> bool:
+        """Tombstone the key; returns whether it was present."""
         self._check_writable()
         self._charge_cpu()
         self._stats.deletes += 1
@@ -229,6 +234,7 @@ class FasterKV(KVStore, CheckpointManager):
             return True
 
     def scan(self) -> Iterator[tuple[int, bytes]]:
+        """All live records, in hash-index order."""
         with self.epochs.guard():
             for key, address in list(self.index.items()):
                 _, _, value, _ = self.log.read_record(address)
@@ -239,6 +245,7 @@ class FasterKV(KVStore, CheckpointManager):
         return len(self.index)
 
     def close(self) -> None:
+        """Close the hybrid log and release the store."""
         if not self._closed:
             self.log.close()
             self._closed = True

@@ -79,7 +79,9 @@ class LeveledPolicy:
         return self.base_level_bytes * (self.growth_factor ** (level - 1))
 
     def needs_l0_compaction(self, l0_run_count: int) -> bool:
+        """Whether the L0 run count has reached its trigger."""
         return l0_run_count >= self.l0_trigger
 
     def needs_level_compaction(self, level: int, run_bytes: int) -> bool:
+        """Whether a level's bytes exceed its budget."""
         return run_bytes > self.level_budget(level)

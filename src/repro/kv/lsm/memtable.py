@@ -23,6 +23,7 @@ class MemTable:
         return len(self._table)
 
     def put(self, key: int, value: bytes) -> None:
+        """Insert or overwrite in the in-memory table, tracking byte size."""
         previous = self._table.get(key)
         if previous is None or previous is _DELETED:
             self.approximate_bytes += record_size(len(value))
@@ -31,6 +32,7 @@ class MemTable:
         self._table.insert(key, value)
 
     def delete(self, key: int) -> None:
+        """Insert a tombstone recording the deletion."""
         self._table.insert(key, _DELETED)
         self.approximate_bytes += record_size(0)
 

@@ -185,6 +185,7 @@ class SSTable:
     # reads
     # ------------------------------------------------------------------
     def may_contain(self, key: int) -> bool:
+        """Key-range plus bloom-filter check; False is definitive."""
         if key < self.min_key or key > self.max_key:
             return False
         return self.bloom.may_contain(key)
@@ -195,6 +196,7 @@ class SSTable:
         return pos if pos >= 0 else None
 
     def read_block(self, block_no: int, ssd: SSDModel, blocking: bool = True) -> bytes:
+        """Read one data block, charging the device model."""
         with open(self.path, "rb") as f:
             f.seek(self.block_offsets[block_no])
             data = f.read(self.block_lengths[block_no])
@@ -235,6 +237,7 @@ class SSTable:
                 offset += value_len
 
     def remove_files(self) -> None:
+        """Delete the table's data and meta files from disk."""
         for path in (self.path, self.path + ".meta"):
             if os.path.exists(path):
                 os.remove(path)

@@ -83,9 +83,11 @@ class LsmKV(KVStore, CheckpointManager):
     # ------------------------------------------------------------------
     @property
     def stats(self) -> StoreStats:
+        """Live counter block for this engine."""
         return self._stats
 
     def put(self, key: int, value: bytes) -> None:
+        """Write to the WAL then the memtable; may trigger a flush."""
         self._check_writable()
         self._charge_cpu()
         self._stats.puts += 1
@@ -94,6 +96,7 @@ class LsmKV(KVStore, CheckpointManager):
         self._maybe_flush()
 
     def delete(self, key: int) -> bool:
+        """Record a tombstone; returns whether the key was live."""
         self._check_writable()
         self._charge_cpu()
         self._stats.deletes += 1
@@ -108,6 +111,7 @@ class LsmKV(KVStore, CheckpointManager):
         return existed
 
     def get(self, key: int) -> Optional[bytes]:
+        """Memtable first, then L0 runs newest-first, then leveled runs."""
         self._charge_cpu()
         self._stats.gets += 1
         found, value, from_memory = self._lookup(key)
@@ -263,6 +267,7 @@ class LsmKV(KVStore, CheckpointManager):
             self._maybe_flush()
 
     def scan(self) -> Iterator[tuple[int, bytes]]:
+        """All live records in ascending key order, merged across runs."""
         runs = self._all_runs()
         merged = merge_runs(runs, self.ssd, drop_tombstones=False) if runs else iter(())
         # Overlay the memtable (newest data) over the merged runs.
@@ -279,6 +284,7 @@ class LsmKV(KVStore, CheckpointManager):
                 yield key, value
 
     def close(self) -> None:
+        """Flush the memtable and close the WAL and tables."""
         if not self._closed:
             self.flush()
             self._write_manifest()

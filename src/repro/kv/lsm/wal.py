@@ -48,9 +48,11 @@ class WriteAheadLog:
         self._pending_bytes = 0
 
     def append_put(self, key: int, value: bytes) -> None:
+        """Log one upsert record."""
         self._append(_OP_PUT, key, value)
 
     def append_delete(self, key: int) -> None:
+        """Log one delete record."""
         self._append(_OP_DELETE, key, b"")
 
     def append_put_batch(self, items) -> None:
@@ -188,9 +190,11 @@ class WriteAheadLog:
             f.truncate(offset)
 
     def close(self) -> None:
+        """Sync and close the log file."""
         self.sync()
         self._file.close()
 
     def size_bytes(self) -> int:
+        """Current on-disk size of the log."""
         self._file.flush()
         return os.path.getsize(self.path)

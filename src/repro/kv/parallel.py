@@ -414,17 +414,20 @@ class ParallelShardStore(KVStore, CheckpointManager):
     # KVStore interface
     # ------------------------------------------------------------------
     def shard_of(self, key: int) -> int:
+        """Owning shard index for a key (same hash as ShardedKVStore)."""
         from repro.kv.sharded import shard_hash
 
         return self._slots[shard_hash(key) % len(self._slots)]
 
     def get(self, key: int) -> Optional[bytes]:
+        """Single-key read routed to the owning shard process."""
         self._check_open()
         shard = self.shard_of(key)
         self._shard_ops[shard] += 1
         return self._call_worker(self._owner[shard], ("single", "get", shard, key, None))
 
     def snapshot_read(self, key: int) -> Optional[bytes]:
+        """Committed single-key read routed to the owning shard process."""
         self._check_open()
         shard = self.shard_of(key)
         self._shard_ops[shard] += 1
@@ -433,6 +436,7 @@ class ParallelShardStore(KVStore, CheckpointManager):
         )
 
     def put(self, key: int, value: bytes) -> None:
+        """Single-key write routed to the owning shard process."""
         self._check_open()
         self._check_writable()
         shard = self.shard_of(key)
@@ -442,6 +446,7 @@ class ParallelShardStore(KVStore, CheckpointManager):
         self._call_worker(self._owner[shard], ("single", "put", shard, key, value))
 
     def delete(self, key: int) -> bool:
+        """Single-key delete routed to the owning shard process."""
         self._check_open()
         self._check_writable()
         shard = self.shard_of(key)
@@ -451,10 +456,12 @@ class ParallelShardStore(KVStore, CheckpointManager):
         )
 
     def multi_get(self, keys) -> list:
+        """Batched reads fanned out to the shard processes in parallel."""
         keys = self._normalize_keys(keys)
         return self._fan_out_read(keys, "multi_get")
 
     def snapshot_read_many(self, keys) -> list:
+        """Batched committed reads fanned out to the shard processes."""
         keys = self._normalize_keys(keys)
         return self._fan_out_read(keys, "snapshot_read_many")
 
@@ -600,6 +607,7 @@ class ParallelShardStore(KVStore, CheckpointManager):
         return self
 
     def close(self) -> None:
+        """Shut down the worker processes and close every shard."""
         if self._closed:
             return
         # Final counter snapshot before the workers die — without it the

@@ -83,15 +83,18 @@ class ReplicaGroup:
         self.failovers = 0  # reads that skipped the preferred replica
         self.catchup_keys = 0  # keys replayed by hinted catch-up
         self.resyncs = 0  # full scan-copy rebuilds
+        self.hedged_reads = 0  # reads answered by a hedge instead of waiting
 
     # ------------------------------------------------------------------
     # liveness & health
     # ------------------------------------------------------------------
     @property
     def replication(self) -> int:
+        """Configured replica count (live or not)."""
         return len(self.replicas)
 
     def live_indices(self) -> list[int]:
+        """Indices of the replicas currently up, in order."""
         return [index for index, up in enumerate(self.alive) if up]
 
     def fail(self, replica: int) -> None:
@@ -189,6 +192,16 @@ class ReplicaGroup:
             raise ConfigError(f"penalty must be non-negative, got {penalty_seconds}")
         self._slow_penalty[replica] = penalty_seconds
 
+    def slow_penalty(self, replica: int) -> float:
+        """The injected per-read latency on ``replica`` (0 = healthy).
+
+        This is the routing signal the serving tier's request hedging
+        consults: a non-zero penalty on every admissible replica means
+        routing around the slowness is impossible and a hedge is the
+        only way to cap the read's latency.
+        """
+        return self._slow_penalty[replica]
+
     def _complete_peer(self, exclude: int) -> int:
         """A live replica holding **every** acknowledged write (lag 0).
 
@@ -244,6 +257,43 @@ class ReplicaGroup:
         self._cursor += 1
         return choice
 
+    def pick_hedged_reader(self, bound: int, threshold: float) -> tuple[int, float]:
+        """One admissible replica with request hedging against slowness.
+
+        Unlike :meth:`pick_reader` — which *avoids* slowed replicas and
+        so hot-spots every read onto the least-penalized one — hedged
+        routing round-robins over the **whole** admissible pool, slowed
+        replicas included: the hedge is what makes spreading load over
+        degraded replicas safe.  When the routed replica's injected
+        penalty exceeds ``threshold``, the read waits the threshold and
+        duplicates to the least-slow admissible peer, completing at the
+        faster of the two.  Returns ``(replica, charge)`` where
+        ``charge`` is the latency cost to pay on the simulated clock
+        (``threshold`` + the hedge target's own penalty when the hedge
+        wins; the routed replica's penalty otherwise).
+        """
+        admissible = [
+            index for index in self.live_indices() if self.clock.in_bound(index, bound)
+        ]
+        if not admissible:
+            return self.pick_reader(bound), 0.0  # raises the routing error
+        if len(admissible) < self.replication:
+            self.failovers += 1
+        choice = admissible[self._cursor % len(admissible)]
+        self._cursor += 1
+        penalty = self._slow_penalty[choice]
+        if penalty <= threshold:
+            return choice, penalty
+        alternates = [index for index in admissible if index != choice]
+        if not alternates:
+            return choice, penalty
+        alternate = min(alternates, key=lambda index: self._slow_penalty[index])
+        hedged_cost = threshold + self._slow_penalty[alternate]
+        if hedged_cost < penalty:
+            self.hedged_reads += 1
+            return alternate, hedged_cost
+        return choice, penalty
+
     def quorum_readers(self) -> list[int]:
         """A majority of live replicas, freshest first.
 
@@ -276,6 +326,7 @@ class ReplicaGroup:
     # writes
     # ------------------------------------------------------------------
     def fanout_put(self, key: int, value: bytes) -> None:
+        """Write to every live replica, hinting the write for down ones."""
         self.clock.advance()
         for index, replica in enumerate(self.replicas):
             if self.alive[index]:
@@ -287,6 +338,7 @@ class ReplicaGroup:
                 self._hint(index, key)
 
     def fanout_delete(self, key: int) -> bool:
+        """Delete on every live replica; returns whether any held the key."""
         self.clock.advance()
         existed = False
         for index, replica in enumerate(self.replicas):
@@ -298,6 +350,7 @@ class ReplicaGroup:
         return existed
 
     def fanout_multi_put(self, keys: list, values: list) -> None:
+        """Batched fan-out write with per-replica hinting."""
         self.clock.advance(len(keys))
         for index, replica in enumerate(self.replicas):
             if self.alive[index]:
@@ -386,6 +439,9 @@ class ReplicatedKVStore(KVStore, CheckpointManager):
         ]
         self._shard_ops = [0] * num_shards
         self._closed = False
+        # Request hedging is off until the serving tier opts in (see
+        # ``enable_hedging``); None keeps the plain routed-read path.
+        self.hedge_threshold: Optional[float] = None
 
     @classmethod
     def from_groups(
@@ -414,6 +470,7 @@ class ReplicatedKVStore(KVStore, CheckpointManager):
     # routing
     # ------------------------------------------------------------------
     def shard_of(self, key: int) -> int:
+        """Owning shard (replica group) index for a key."""
         return shard_hash(key) % self.num_shards
 
     def _partition_keys(self, keys: list) -> dict[int, list[int]]:
@@ -423,14 +480,48 @@ class ReplicatedKVStore(KVStore, CheckpointManager):
         return by_shard
 
     def _read_replica(self, group: ReplicaGroup) -> int:
+        if self.hedge_threshold is not None:
+            choice, charge = group.pick_hedged_reader(
+                self.divergence_bound, self.hedge_threshold
+            )
+            if charge:
+                clock = getattr(group.replicas[choice], "clock", None)
+                if clock is not None:
+                    clock.advance(charge, component=CHAOS_COMPONENT)
+            return choice
         choice = group.pick_reader(self.divergence_bound)
         group.charge_penalty(choice)
         return choice
+
+    def enable_hedging(self, threshold_seconds: Optional[float]) -> None:
+        """Turn on request hedging for routed reads (``None`` disables).
+
+        Hedged routing spreads reads round-robin over the whole
+        admissible pool — slowed replicas included — and caps the cost
+        of landing on one: a read routed to a replica slowed beyond
+        ``threshold_seconds`` (the signal :meth:`slow_replica` injects
+        and :meth:`ReplicaGroup.slow_penalty` exposes) waits the
+        threshold and then duplicates to the least-slow admissible
+        peer, completing at the faster of the two — the classic
+        tail-latency hedge.  Hedges taken are counted per group
+        (``hedged_reads`` in ``stats.extra``).
+        """
+        if threshold_seconds is not None and threshold_seconds < 0:
+            raise ConfigError(
+                f"hedge threshold must be non-negative, got {threshold_seconds}"
+            )
+        self.hedge_threshold = threshold_seconds
+
+    def live_replicas(self, shard: int) -> list[int]:
+        """Indices of the live replicas of ``shard`` (the autoscaler's
+        add/remove-replica surface reads this)."""
+        return self.groups[shard].live_indices()
 
     # ------------------------------------------------------------------
     # KVStore interface — reads
     # ------------------------------------------------------------------
     def get(self, key: int) -> Optional[bytes]:
+        """Read from one bounded-staleness replica of the owning group."""
         shard = self.shard_of(key)
         self._shard_ops[shard] += 1
         group = self.groups[shard]
@@ -443,6 +534,7 @@ class ReplicatedKVStore(KVStore, CheckpointManager):
         return self._batched_read(keys, snapshot=False)
 
     def snapshot_read(self, key: int) -> Optional[bytes]:
+        """Committed read (no staleness consumption) from the owning group."""
         shard = self.shard_of(key)
         self._shard_ops[shard] += 1
         group = self.groups[shard]
@@ -451,6 +543,7 @@ class ReplicatedKVStore(KVStore, CheckpointManager):
         return group.replicas[self._read_replica(group)].snapshot_read(key)
 
     def snapshot_read_many(self, keys) -> list:
+        """Batched committed reads, one sub-batch per owning group."""
         return self._batched_read(keys, snapshot=True)
 
     def read_committed_many(self, keys) -> list:
@@ -515,12 +608,14 @@ class ReplicatedKVStore(KVStore, CheckpointManager):
     # KVStore interface — writes (synchronous fan-out)
     # ------------------------------------------------------------------
     def put(self, key: int, value: bytes) -> None:
+        """Fan-out write to the owning group's replicas."""
         self._check_writable()
         shard = self.shard_of(key)
         self._shard_ops[shard] += 1
         self.groups[shard].fanout_put(key, value)
 
     def delete(self, key: int) -> bool:
+        """Fan-out delete to the owning group's replicas."""
         self._check_writable()
         shard = self.shard_of(key)
         self._shard_ops[shard] += 1
@@ -545,6 +640,7 @@ class ReplicatedKVStore(KVStore, CheckpointManager):
         return new_value
 
     def multi_put(self, keys, values) -> None:
+        """Batched fan-out writes, one sub-batch per owning group."""
         self._check_writable()
         keys, values = self._normalize_pairs(keys, values)
         for shard, positions in self._partition_keys(keys).items():
@@ -626,6 +722,7 @@ class ReplicatedKVStore(KVStore, CheckpointManager):
         self.groups[shard].slow(replica, penalty_seconds)
 
     def replica_lag(self, shard: int, replica: int) -> int:
+        """Writes a replica is behind its group's newest write."""
         return self.groups[shard].clock.lag(replica)
 
     # ------------------------------------------------------------------
@@ -780,6 +877,7 @@ class ReplicatedKVStore(KVStore, CheckpointManager):
         return copied
 
     def set_stall_handler(self, handler) -> None:
+        """Install a stall callback on every replica engine."""
         for group in self.groups:
             for replica in group.replicas:
                 sink = getattr(replica, "set_stall_handler", None)
@@ -823,6 +921,7 @@ class ReplicatedKVStore(KVStore, CheckpointManager):
         raise AttributeError("replicas do not share a single SSD device")
 
     def freeze(self) -> "ReplicatedKVStore":
+        """Freeze every replica and the wrapper itself."""
         for group in self.groups:
             for replica in group.replicas:
                 replica.freeze()
@@ -830,6 +929,7 @@ class ReplicatedKVStore(KVStore, CheckpointManager):
         return self
 
     def close(self) -> None:
+        """Close every replica in every group."""
         if not self._closed:
             for group in self.groups:
                 for replica in group.replicas:
@@ -862,6 +962,7 @@ class ReplicatedKVStore(KVStore, CheckpointManager):
         """
         total = StoreStats()
         lags, failovers, hints, catchups = [], 0, [], 0
+        penalties, hedges = [], 0
         for group in self.groups:
             for replica in group.replicas:
                 child = replica.stats
@@ -876,11 +977,17 @@ class ReplicatedKVStore(KVStore, CheckpointManager):
             hints.append(
                 [group.hints_outstanding(index) for index in range(group.replication)]
             )
+            penalties.append(
+                [group.slow_penalty(index) for index in range(group.replication)]
+            )
+            hedges += group.hedged_reads
         total.extra["shard_ops"] = list(self._shard_ops)
         total.extra["replica_lag"] = lags
         total.extra["failovers"] = failovers
         total.extra["catchup_keys"] = catchups
         total.extra["hints_outstanding"] = hints
+        total.extra["slow_penalties"] = penalties
+        total.extra["hedged_reads"] = hedges
         return total
 
     def balance(self) -> list[int]:

@@ -137,6 +137,10 @@ class ShardedKVStore(KVStore, CheckpointManager):
         # In-flight migrations keyed by source engine index: writes to a
         # moving key range are dual-logged into the migration's delta.
         self._migrations: dict[int, "ShardMigration"] = {}
+        # Deferred post-cutover cleanup: source engine index -> moved
+        # keys awaiting deletion (routing already points at the target,
+        # so these are unreachable; scans filter them until drained).
+        self._cleanup_backlog: dict[int, set[int]] = {}
         self._closed = False
 
     @classmethod
@@ -166,17 +170,21 @@ class ShardedKVStore(KVStore, CheckpointManager):
     # KVStore interface
     # ------------------------------------------------------------------
     def get(self, key: int) -> Optional[bytes]:
+        """Single-key read routed to the owning engine."""
         shard = self.shard_of(key)
         self._shard_ops[shard] += 1
         return self.shards[shard].get(key)
 
     def put(self, key: int, value: bytes) -> None:
+        """Single-key write routed to the owning engine; dual-logged when a
+        migration covers the key."""
         shard = self.shard_of(key)
         self._shard_ops[shard] += 1
         self.shards[shard].put(key, value)
         self._note_write(shard, key)
 
     def delete(self, key: int) -> bool:
+        """Single-key delete routed to the owning engine."""
         shard = self.shard_of(key)
         self._shard_ops[shard] += 1
         existed = self.shards[shard].delete(key)
@@ -184,6 +192,7 @@ class ShardedKVStore(KVStore, CheckpointManager):
         return existed
 
     def rmw(self, key: int, update: Callable[[Optional[bytes]], bytes]) -> bytes:
+        """Read-modify-write routed to the owning engine."""
         shard = self.shard_of(key)
         self._shard_ops[shard] += 1
         value = self.shards[shard].rmw(key, update)
@@ -252,10 +261,18 @@ class ShardedKVStore(KVStore, CheckpointManager):
         index order, ...), so the merged stream has no global order — the
         guarantees are that each live key appears exactly once and comes
         from the shard owning it.  Serving cache warmup and
-        :meth:`rebalance` both stream through this.
+        :meth:`rebalance` both stream through this.  Keys a deferred
+        post-cutover cleanup has not deleted from their old engine yet
+        are filtered out of that engine's stream (the target owns them).
         """
-        for shard in self.shards:
-            yield from shard.scan()
+        for index, shard in enumerate(self.shards):
+            pending = self._cleanup_backlog.get(index)
+            if pending:
+                for key, value in shard.scan():
+                    if key not in pending:
+                        yield key, value
+            else:
+                yield from shard.scan()
 
     def snapshot_read(self, key: int) -> Optional[bytes]:
         """Committed single-key read routed to the owning shard."""
@@ -291,6 +308,7 @@ class ShardedKVStore(KVStore, CheckpointManager):
         return self
 
     def close(self) -> None:
+        """Close every child engine."""
         if not self._closed:
             for shard in self.shards:
                 shard.close()
@@ -300,14 +318,17 @@ class ShardedKVStore(KVStore, CheckpointManager):
         """Live records across all shards.
 
         Engines without ``__len__`` (LSM, B+tree) are counted by scanning
-        — correct but O(n); hash-indexed engines answer in O(1).
+        — correct but O(n); hash-indexed engines answer in O(1).  Keys
+        awaiting deferred post-cutover cleanup are not counted (their
+        copies on the target engine already are).
         """
         total = 0
-        for shard in self.shards:
+        for index, shard in enumerate(self.shards):
             try:
                 total += len(shard)  # type: ignore[arg-type]
             except TypeError:
                 total += sum(1 for _ in shard.scan())
+            total -= len(self._cleanup_backlog.get(index, ()))
         return total
 
     @property
@@ -443,6 +464,8 @@ class ShardedKVStore(KVStore, CheckpointManager):
         a base ``directory`` this degrades to the per-shard checkpoints
         only.
         """
+        while self._cleanup_backlog:
+            self.cleanup_step(4096)
         for shard in self.shards:
             snap = getattr(shard, "checkpoint", None)
             if snap is not None:
@@ -620,6 +643,37 @@ class ShardedKVStore(KVStore, CheckpointManager):
         """Replace an engine in one call; returns the engine's index."""
         return self.begin_migrate(shard_index, factory).run(batch=batch)
 
+    def cleanup_pending(self) -> int:
+        """Moved keys still awaiting deferred post-cutover deletion."""
+        return sum(len(keys) for keys in self._cleanup_backlog.values())
+
+    def cleanup_step(self, batch: int = 1024) -> int:
+        """Delete up to ``batch`` deferred-cleanup keys; returns the rest.
+
+        The counterpart of :meth:`ShardMigration.copy_step` for the
+        *after* side of a cutover made with ``defer_cleanup=True``: each
+        call physically deletes a bounded chunk of moved keys from their
+        old engine, so an autoscaler can spread the cleanup across
+        serving batches the same way it spreads the copy.  Routing
+        already points at the target, so the order and pacing of these
+        deletes is invisible to readers.
+        """
+        if batch < 1:
+            raise ConfigError(f"cleanup batch must be >= 1, got {batch}")
+        budget = batch
+        for index in sorted(self._cleanup_backlog):
+            if budget == 0:
+                break
+            pending = self._cleanup_backlog[index]
+            shard = self.shards[index]
+            for key in sorted(pending)[:budget]:
+                shard.delete(key)
+                pending.discard(key)
+                budget -= 1
+            if not pending:
+                del self._cleanup_backlog[index]
+        return self.cleanup_pending()
+
     def _check_migratable(self, shard_index: int) -> None:
         if not 0 <= shard_index < len(self.shards):
             raise ConfigError(
@@ -632,6 +686,11 @@ class ShardedKVStore(KVStore, CheckpointManager):
             )
         if self.read_only:
             raise ConfigError("cannot migrate a frozen store")
+        # A new migration snapshots raw engine scans, so finish any
+        # deferred cleanup first — leftover moved keys on an old engine
+        # must not leak into a snapshot or survive an engine replacement.
+        while self._cleanup_backlog:
+            self.cleanup_step(4096)
 
 
 class ShardMigration:
@@ -680,6 +739,7 @@ class ShardMigration:
         self._moved_keys: set[int] = set()
         self.keys_copied = 0
         self.delta_replayed = 0
+        self._defer_cleanup = False
 
     def _moves(self, key: int) -> bool:
         return (shard_hash(key) % len(self.store._slots)) in self.moving_slots
@@ -740,7 +800,7 @@ class ShardMigration:
         self._delta.clear()
         self.target.close()
 
-    def cutover(self, batch: int = 1024) -> int:
+    def cutover(self, batch: int = 1024, defer_cleanup: bool = False) -> int:
         """Finish the move atomically; returns the target's engine index.
 
         Drains the snapshot, replays the delta log until it is empty
@@ -748,9 +808,18 @@ class ShardMigration:
         bit-identical to the source for every moved key), flips the
         routing slot(s) to the target, and deletes the moved keys from
         the source (a replaced engine is closed outright instead).
+
+        With ``defer_cleanup=True`` the source-side deletes are queued on
+        the store instead of executed here: the routing flip makes the
+        moved keys unreachable immediately, and the store's
+        :meth:`ShardedKVStore.cleanup_step` drains the physical deletes
+        in bounded batches.  A live rescale uses this so the cutover tick
+        costs O(delta), not O(moved keys) — the synchronous delete loop
+        is exactly the multi-millisecond stall a latency SLO notices.
         """
         if self.done:
             raise ConfigError("migration already cut over")
+        self._defer_cleanup = defer_cleanup
         while self.remaining:
             self.copy_step(batch)
         source = self.store.shards[self.source_index]
@@ -794,7 +863,11 @@ class ShardMigration:
         store.num_shards = len(store.shards)
         for slot in self.moving_slots:
             store._slots[slot] = target_index
+        if getattr(self, "_defer_cleanup", False):
+            backlog = store._cleanup_backlog.setdefault(self.source_index, set())
+            backlog.update(self._moved_keys)
+            return target_index
         source = store.shards[self.source_index]
-        for key in self._moved_keys:
+        for key in sorted(self._moved_keys):
             source.delete(key)
         return target_index

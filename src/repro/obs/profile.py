@@ -42,6 +42,7 @@ def disable() -> None:
 
 
 def is_enabled() -> bool:
+    """Whether the profiler is currently recording."""
     return _ENABLED
 
 

@@ -46,6 +46,7 @@ class Counter:
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add a non-negative amount (counters only increase)."""
         if amount < 0:
             raise ValueError(f"counters only increase, got {amount}")
         self.value += amount
@@ -60,9 +61,11 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
+        """Replace the gauge's value."""
         self.value = value
 
     def add(self, amount: float) -> None:
+        """Adjust the gauge by a signed amount."""
         self.value += amount
 
 
@@ -88,6 +91,7 @@ class Histogram:
         self.max_seen = 0.0
 
     def observe(self, value: float) -> None:
+        """Record one value into its bucket and the summary stats."""
         self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.total += value
@@ -97,6 +101,7 @@ class Histogram:
             self.max_seen = value
 
     def summary(self) -> dict[str, float]:
+        """The count/min/max/sum summary block."""
         return {
             "count": self.count,
             "sum": self.total,
@@ -166,11 +171,13 @@ class MetricsRegistry:
         return handle
 
     def counter(self, component: str, name: str, **labels) -> Counter:
+        """The counter handle for ``(component, name, labels)``."""
         if not self.enabled:
             return _NOOP_COUNTER  # type: ignore[return-value]
         return self._handle(Counter, component, name, labels)
 
     def gauge(self, component: str, name: str, **labels) -> Gauge:
+        """The gauge handle for ``(component, name, labels)``."""
         if not self.enabled:
             return _NOOP_GAUGE  # type: ignore[return-value]
         return self._handle(Gauge, component, name, labels)
@@ -178,11 +185,13 @@ class MetricsRegistry:
     def histogram(
         self, component: str, name: str, bounds: Optional[tuple] = None, **labels
     ) -> Histogram:
+        """The histogram handle for ``(component, name, labels)``."""
         if not self.enabled:
             return _NOOP_HISTOGRAM  # type: ignore[return-value]
         return self._handle(Histogram, component, name, labels, bounds=bounds)
 
     def namespace(self, component: str) -> "Namespace":
+        """A registry view with ``component`` pre-bound."""
         return Namespace(self, component)
 
     # ------------------------------------------------------------------
@@ -330,6 +339,41 @@ class MetricsRegistry:
             )
 
 
+    def absorb_tenant_report(self, component: str, report: dict) -> None:
+        """Fold a multi-tenant cluster report into the tree.
+
+        Duck-typed on the dict :meth:`TenantCluster.report
+        <repro.serve.tenancy.TenantCluster.report>` builds: the
+        ``tenants`` block becomes per-tenant labeled gauges (p99,
+        attainment, admitted/shed counters), and the autoscaler's
+        completion counters ride along when present.
+        """
+        if not self.enabled:
+            return
+        for name, block in (report.get("tenants") or {}).items():
+            latency = block.get("latency") or {}
+            if "p99" in latency:
+                self.gauge(component, "tenant_p99_seconds", tenant=name).set(
+                    latency["p99"]
+                )
+            for field in ("slo_attainment", "admitted", "shed_rate", "shed_queue"):
+                if field in block:
+                    self.gauge(component, f"tenant_{field}", tenant=name).set(
+                        block[field]
+                    )
+        if "hedged_reads" in report:
+            self.gauge(component, "hedged_reads").set(report["hedged_reads"])
+        autoscaler = report.get("autoscaler") or {}
+        for field in (
+            "splits_completed",
+            "migrations_completed",
+            "replicas_added",
+            "replicas_removed",
+        ):
+            if field in autoscaler:
+                self.gauge(component, f"autoscale_{field}").set(autoscaler[field])
+
+
 class Namespace:
     """A component-scoped view of a registry (saves repeating the name)."""
 
@@ -340,12 +384,15 @@ class Namespace:
         self.component = component
 
     def counter(self, name: str, **labels) -> Counter:
+        """Counter handle under the bound component."""
         return self._registry.counter(self.component, name, **labels)
 
     def gauge(self, name: str, **labels) -> Gauge:
+        """Gauge handle under the bound component."""
         return self._registry.gauge(self.component, name, **labels)
 
     def histogram(self, name: str, bounds: Optional[tuple] = None, **labels) -> Histogram:
+        """Histogram handle under the bound component."""
         return self._registry.histogram(self.component, name, bounds=bounds, **labels)
 
 

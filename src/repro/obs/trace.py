@@ -224,6 +224,7 @@ class Tracer:
             json.dump(self.to_chrome(), handle)
 
     def reset(self) -> None:
+        """Drop all recorded spans and instants."""
         self.spans.clear()
         self.instants.clear()
         self._stack.clear()
@@ -250,6 +251,7 @@ def uninstall_tracer() -> Optional[Tracer]:
 
 
 def active_tracer() -> Optional[Tracer]:
+    """The process-wide tracer, or ``None`` when tracing is off."""
     return _ACTIVE
 
 
@@ -327,6 +329,7 @@ def _view(path: str) -> int:
 
 
 def main(argv: Optional[list[str]] = None) -> int:
+    """Command-line entry point (``python -m repro.obs.trace``)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.trace",
         description="Inspect Chrome trace_event JSON emitted by repro.obs",

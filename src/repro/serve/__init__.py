@@ -21,9 +21,18 @@ online service measured against latency SLOs:
   batch-size and queue-depth distributions, throughput-vs-SLO reports;
 * :mod:`repro.serve.loop` — the discrete-event serving loop binding it
   all together, with the training look-ahead engine reused as a serving
-  prefetcher.
+  prefetcher;
+* :mod:`repro.serve.tenancy` — the multi-tenant cluster: N tenants
+  (model + table-set + SLO class) over one shared sharded/replicated
+  store, with per-tenant key namespacing, token-bucket + queue-depth
+  admission control, priority-aware batch cutoff, and request hedging
+  against slow replicas;
+* :mod:`repro.serve.autoscale` — the telemetry-driven policy closing
+  the elasticity loop: live ``split_shard`` / ``migrate_shard`` and
+  replica add/remove driven between micro-batches under load.
 """
 
+from repro.serve.autoscale import Autoscaler, AutoscalerConfig
 from repro.serve.batcher import BatchPolicy, CoalescedBatch, MicroBatcher
 from repro.serve.cache import AdmissionCache, TierCounters
 from repro.serve.loadgen import (
@@ -36,9 +45,20 @@ from repro.serve.loop import ServingLoop
 from repro.serve.request import Request, RequestQueue
 from repro.serve.server import EmbeddingServer, load_servable
 from repro.serve.telemetry import Distribution, LatencyHistogram, ServingTelemetry
+from repro.serve.tenancy import (
+    PriorityRequestQueue,
+    Tenant,
+    TenantCluster,
+    TenantSpec,
+    TokenBucket,
+    namespace_key,
+    split_key,
+)
 
 __all__ = [
     "AdmissionCache",
+    "Autoscaler",
+    "AutoscalerConfig",
     "BatchPolicy",
     "ChaosInjector",
     "ClosedLoopArrivals",
@@ -49,10 +69,17 @@ __all__ = [
     "LoadGenerator",
     "MicroBatcher",
     "OpenLoopArrivals",
+    "PriorityRequestQueue",
     "Request",
     "RequestQueue",
     "ServingLoop",
     "ServingTelemetry",
+    "Tenant",
+    "TenantCluster",
+    "TenantSpec",
     "TierCounters",
+    "TokenBucket",
     "load_servable",
+    "namespace_key",
+    "split_key",
 ]

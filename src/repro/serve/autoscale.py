@@ -1,0 +1,386 @@
+"""Telemetry-driven autoscaling: closing the elasticity loop under load.
+
+PR 4 gave the storage layer live rescaling *primitives* — incremental
+``split_shard`` / ``migrate_shard`` with copy-then-cutover, and replica
+fail/revive with hinted catch-up.  This module adds the *policy* that
+drives them while requests are in flight: the
+:class:`~repro.serve.tenancy.TenantCluster` feeds every completed
+request's latency into the :class:`Autoscaler` and ticks it between
+micro-batches (the only points simulated time advances), and the
+autoscaler reacts to a sustained latency-window breach by:
+
+* **splitting the hottest shard** — ``begin_split`` on the engine with
+  the most routed operations, then *one bounded copy step per tick* so
+  the copy interleaves with live serving exactly as a production
+  rescale would, then ``cutover`` (which replays the dual-logged write
+  deltas, so zero requests and zero writes are lost);
+* **migrating the hottest shard** — same discipline via
+  ``begin_migrate`` when the shard count is capped but imbalance says
+  one engine is the problem (node replacement);
+* **adding / removing replicas** — on a replicated store, reviving a
+  previously-retired replica under pressure (hinted catch-up brings it
+  consistent) and retiring one again when the latency window relaxes.
+
+Every decision lands in an auditable log (:attr:`Autoscaler.decisions`)
+and as an obs instant on the simulated timeline; when a telemetry
+object is attached, scale actions flip its phase so one run yields
+before/during/after latency percentiles — the ``p99_during_rescale``
+the multi-tenant bench gates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigError, StorageError
+from repro.obs.trace import instant as obs_instant
+from repro.serve.telemetry import LatencyHistogram, ServingTelemetry
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Policy knobs for the :class:`Autoscaler`.
+
+    Parameters
+    ----------
+    check_interval:
+        Simulated seconds between policy evaluations; between checks the
+        autoscaler only advances an in-flight migration.
+    p99_threshold:
+        Scale *out* when the latency window's p99 exceeds this
+        (``None`` disables the latency trigger).
+    depth_threshold:
+        Scale out when the queue depth at a check exceeds this
+        (``None`` disables the depth trigger).
+    cooldown:
+        Minimum simulated seconds between completed scale actions.
+    copy_batch:
+        Keys copied per migration step — the knob trading rescale speed
+        against per-batch latency impact on live traffic.
+    max_shards:
+        Shard-count ceiling for splits; beyond it the policy falls back
+        to migration / replica actions.
+    imbalance_threshold:
+        When splits are capped, a max/mean routed-ops ratio above this
+        triggers ``begin_migrate`` of the hottest engine (``None``
+        disables migration).
+    scale_in_p99:
+        On a replicated store, a window p99 *below* this retires one
+        replica of the most-replicated shard (``None`` disables
+        scale-in).
+    min_window:
+        Completed requests a window needs before its p99 is trusted.
+    """
+
+    check_interval: float = 2e-3
+    p99_threshold: Optional[float] = 1e-3
+    depth_threshold: Optional[int] = None
+    cooldown: float = 4e-3
+    copy_batch: int = 512
+    max_shards: int = 8
+    imbalance_threshold: Optional[float] = None
+    scale_in_p99: Optional[float] = None
+    min_window: int = 64
+
+    def __post_init__(self) -> None:
+        if self.check_interval <= 0:
+            raise ConfigError(
+                f"check_interval must be positive, got {self.check_interval}"
+            )
+        if self.cooldown < 0:
+            raise ConfigError(f"cooldown must be >= 0, got {self.cooldown}")
+        if self.copy_batch < 1:
+            raise ConfigError(f"copy_batch must be >= 1, got {self.copy_batch}")
+        if self.max_shards < 1:
+            raise ConfigError(f"max_shards must be >= 1, got {self.max_shards}")
+
+
+class Autoscaler:
+    """Watches a latency window and drives live rescaling primitives.
+
+    Parameters
+    ----------
+    store:
+        The shared store.  Splitting/migrating needs the
+        :class:`~repro.kv.ShardedKVStore` surface (``begin_split`` /
+        ``begin_migrate``); replica actions need the
+        :class:`~repro.kv.ReplicatedKVStore` surface (``fail_replica``
+        / ``revive_replica`` / ``live_replicas``).  Each action is
+        duck-typed, so the policy degrades to whatever the store offers.
+    factory:
+        ``factory(engine_index) -> KVStore`` building a fresh engine for
+        splits and migrations (unused on stores without them).
+    config:
+        The :class:`AutoscalerConfig` policy knobs.
+    telemetry:
+        Optional :class:`~repro.serve.telemetry.ServingTelemetry` whose
+        phase is flipped at scale-action start and completion, so the
+        run's report segments latencies into before/during/after.
+    """
+
+    def __init__(
+        self,
+        store,
+        factory: Optional[Callable[[int], object]] = None,
+        config: Optional[AutoscalerConfig] = None,
+        telemetry: Optional[ServingTelemetry] = None,
+    ) -> None:
+        self.store = store
+        self.factory = factory
+        self.config = config or AutoscalerConfig()
+        self.telemetry = telemetry
+        self.decisions: list[dict] = []
+        self._migration = None
+        self._migration_label: Optional[str] = None
+        self._window = LatencyHistogram()
+        self._last_check: Optional[float] = None
+        self._last_action: Optional[float] = None
+        self.splits_completed = 0
+        self.migrations_completed = 0
+        self.replicas_added = 0
+        self.replicas_removed = 0
+
+    # ------------------------------------------------------------------
+    # signal intake
+    # ------------------------------------------------------------------
+    def observe_request(self, latency: float) -> None:
+        """Feed one completed request's latency into the current window."""
+        self._window.record(latency)
+
+    @property
+    def rescaling(self) -> bool:
+        """Whether a split/migrate copy is currently in flight."""
+        return self._migration is not None
+
+    # ------------------------------------------------------------------
+    # the tick — called by the serving loop between batches
+    # ------------------------------------------------------------------
+    def tick(self, now: float, queue_depth: int = 0) -> None:
+        """Advance an in-flight migration or evaluate the policy.
+
+        An in-flight migration gets exactly one ``copy_step`` per tick
+        (cutover when the snapshot drains), so rescale work is spread
+        across batch boundaries instead of stalling the loop.  Policy
+        evaluation runs at most every ``check_interval`` simulated
+        seconds and respects the action ``cooldown``.
+        """
+        if self._migration is not None:
+            self._advance_migration(now)
+            return
+        if self._drain_cleanup():
+            return
+        if self._last_check is not None and now - self._last_check < self.config.check_interval:
+            return
+        window_p99 = self._window.percentile(99)
+        window_count = self._window.count
+        self._last_check = now
+        self._window = LatencyHistogram()
+        if self._in_cooldown(now):
+            return
+        config = self.config
+        hot = window_count >= config.min_window and (
+            (config.p99_threshold is not None and window_p99 > config.p99_threshold)
+            or (
+                config.depth_threshold is not None
+                and queue_depth > config.depth_threshold
+            )
+        )
+        if hot and self._scale_out(now, window_p99, queue_depth):
+            return
+        if (
+            config.scale_in_p99 is not None
+            and window_count >= config.min_window
+            and window_p99 < config.scale_in_p99
+        ):
+            self._remove_replica(now, window_p99)
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+    def _in_cooldown(self, now: float) -> bool:
+        return (
+            self._last_action is not None
+            and now - self._last_action < self.config.cooldown
+        )
+
+    def _scale_out(self, now: float, window_p99: float, queue_depth: int) -> bool:
+        store = self.store
+        config = self.config
+        num_shards = getattr(store, "num_shards", 0)
+        can_split = (
+            self.factory is not None
+            and getattr(store, "begin_split", None) is not None
+            and num_shards < config.max_shards
+        )
+        if can_split:
+            hottest = self._hottest_shard()
+            self._migration = store.begin_split(hottest, self.factory)
+            self._migration_label = "split"
+            self._record(
+                now,
+                action="split_begin",
+                shard=hottest,
+                window_p99=window_p99,
+                queue_depth=queue_depth,
+                remaining=self._migration.remaining,
+            )
+            self._set_phase("rescale:split", now)
+            return True
+        if self._add_replica(now, window_p99):
+            return True
+        can_migrate = (
+            self.factory is not None
+            and getattr(store, "begin_migrate", None) is not None
+            and config.imbalance_threshold is not None
+            and getattr(store, "imbalance", lambda: 0.0)() > config.imbalance_threshold
+        )
+        if can_migrate:
+            hottest = self._hottest_shard()
+            self._migration = store.begin_migrate(hottest, self.factory)
+            self._migration_label = "migrate"
+            self._record(
+                now,
+                action="migrate_begin",
+                shard=hottest,
+                window_p99=window_p99,
+                queue_depth=queue_depth,
+                remaining=self._migration.remaining,
+            )
+            self._set_phase("rescale:migrate", now)
+            return True
+        return False
+
+    def _drain_cleanup(self) -> bool:
+        """One bounded post-cutover cleanup step, when the store has one.
+
+        A cutover made with ``defer_cleanup=True`` leaves the moved keys'
+        physical deletes queued on the store; draining them one
+        ``copy_batch``-sized chunk per tick keeps the *after* side of a
+        rescale as smooth as the copy side.
+        """
+        pending = getattr(self.store, "cleanup_pending", None)
+        if pending is None or not pending():
+            return False
+        self.store.cleanup_step(self.config.copy_batch)
+        return True
+
+    def _advance_migration(self, now: float) -> None:
+        migration = self._migration
+        if migration.copy_step(self.config.copy_batch) == 0:
+            try:
+                index = migration.cutover(defer_cleanup=True)
+            except TypeError:  # a migration object without deferred cleanup
+                index = migration.cutover()
+            label = self._migration_label
+            self._migration = None
+            self._migration_label = None
+            self._last_action = now
+            if label == "split":
+                self.splits_completed += 1
+            else:
+                self.migrations_completed += 1
+            self._record(
+                now,
+                action=f"{label}_cutover",
+                engine=index,
+                keys_copied=migration.keys_copied,
+                delta_replayed=migration.delta_replayed,
+            )
+            self._set_phase(f"after:{label}", now)
+
+    def _replica_surface(self) -> bool:
+        store = self.store
+        return (
+            getattr(store, "live_replicas", None) is not None
+            and getattr(store, "revive_replica", None) is not None
+            and getattr(store, "fail_replica", None) is not None
+        )
+
+    def _add_replica(self, now: float, window_p99: float) -> bool:
+        """Revive the first retired replica found (hinted catch-up)."""
+        if not self._replica_surface():
+            return False
+        store = self.store
+        for shard in range(store.num_shards):
+            live = store.live_replicas(shard)
+            if len(live) < store.replication:
+                dead = [
+                    index for index in range(store.replication) if index not in live
+                ]
+                replayed = store.revive_replica(shard, dead[0], catch_up=True)
+                self.replicas_added += 1
+                self._last_action = now
+                self._record(
+                    now,
+                    action="add_replica",
+                    shard=shard,
+                    replica=dead[0],
+                    catchup_keys=replayed,
+                    window_p99=window_p99,
+                )
+                self._set_phase("after:add_replica", now)
+                return True
+        return False
+
+    def _remove_replica(self, now: float, window_p99: float) -> bool:
+        """Retire one replica of the most-replicated shard (scale-in)."""
+        if not self._replica_surface():
+            return False
+        store = self.store
+        best_shard, best_live = -1, 1
+        for shard in range(store.num_shards):
+            live = store.live_replicas(shard)
+            if len(live) > best_live:
+                best_shard, best_live = shard, len(live)
+        if best_shard < 0:
+            return False
+        victim = store.live_replicas(best_shard)[-1]
+        try:
+            store.fail_replica(best_shard, victim)
+        except StorageError:
+            return False  # the fail invariant vetoed it: keep the replica
+        self.replicas_removed += 1
+        self._last_action = now
+        self._record(
+            now,
+            action="remove_replica",
+            shard=best_shard,
+            replica=victim,
+            window_p99=window_p99,
+        )
+        self._set_phase("after:remove_replica", now)
+        return True
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _hottest_shard(self) -> int:
+        """The engine with the most routed operations (ties → lowest)."""
+        balance = self.store.balance()
+        hottest = 0
+        for shard, ops in enumerate(balance):
+            if ops > balance[hottest]:
+                hottest = shard
+        return hottest
+
+    def _record(self, now: float, action: str, **fields) -> None:
+        decision = {"at": now, "action": action}
+        decision.update(fields)
+        self.decisions.append(decision)
+        obs_instant(f"autoscale.{action}", clock=None, at=now, **fields)
+
+    def _set_phase(self, name: str, now: float) -> None:
+        if self.telemetry is not None:
+            self.telemetry.set_phase(name, at=now)
+
+    def summary(self) -> dict:
+        """The decision log plus completion counters, for reports."""
+        return {
+            "decisions": list(self.decisions),
+            "splits_completed": self.splits_completed,
+            "migrations_completed": self.migrations_completed,
+            "replicas_added": self.replicas_added,
+            "replicas_removed": self.replicas_removed,
+            "rescaling": self.rescaling,
+        }

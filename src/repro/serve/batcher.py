@@ -57,6 +57,7 @@ class CoalescedBatch:
 
     @property
     def size(self) -> int:
+        """Requests carried by the batch."""
         return len(self.requests)
 
     @property

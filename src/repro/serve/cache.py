@@ -47,6 +47,7 @@ class TierCounters:
 
     @property
     def total(self) -> int:
+        """Total lookups across all tiers."""
         return (self.cache_hits + self.store_memory_hits
                 + self.store_disk_reads + self.lazy_inits)
 

@@ -58,11 +58,13 @@ class OpenLoopArrivals:
         return len(self._requests)
 
     def peek_time(self) -> Optional[float]:
+        """Arrival time of the next request, or ``None`` when drained."""
         if self._cursor >= len(self._requests):
             return None
         return self._requests[self._cursor].arrival_time
 
     def pop(self) -> Request:
+        """Consume and return the next request."""
         request = self._requests[self._cursor]
         self._cursor += 1
         return request
@@ -118,11 +120,13 @@ class ClosedLoopArrivals:
         return self._remaining
 
     def peek_time(self) -> Optional[float]:
+        """Arrival time of the next due request, or ``None`` when drained."""
         if not self._heap or self._remaining <= 0:
             return None
         return self._heap[0][0]
 
     def pop(self) -> Request:
+        """Consume and return the next due request."""
         time, user = heapq.heappop(self._heap)
         self._issued += 1
         self._remaining -= 1
@@ -134,6 +138,7 @@ class ClosedLoopArrivals:
             heapq.heappush(self._heap, (now + self._think.sample(), request.user))
 
     def backlog(self, now: float) -> int:
+        """Requests already due at ``now``."""
         return sum(1 for time, _ in self._heap if time <= now)
 
 
@@ -204,9 +209,11 @@ class ChaosInjector:
         return self
 
     def pending(self) -> int:
+        """Scheduled events not yet fired."""
         return len(self._events)
 
     def peek_time(self) -> Optional[float]:
+        """Time of the next scheduled event, or ``None``."""
         return self._events[0][0] if self._events else None
 
     def fire_due(self, now: float, store, telemetry=None) -> int:
@@ -263,6 +270,38 @@ class LoadGenerator:
             for index, time in enumerate(times)
         ]
         return OpenLoopArrivals(requests)
+
+    def open_loop_process(
+        self, process, count: int, storm=None
+    ) -> OpenLoopArrivals:
+        """Materialize an open-loop trace from any arrival process.
+
+        ``process`` is anything with ``times(count)`` — a plain
+        :class:`~repro.data.arrivals.PoissonProcess` or one of the
+        rate-modulated production shapes
+        (:class:`~repro.data.arrivals.DiurnalProcess`,
+        :class:`~repro.data.arrivals.FlashCrowdProcess`).  ``storm`` is
+        an optional :class:`~repro.data.arrivals.HotKeyStorm` wrapping
+        this generator's key chooser; when given, keys are drawn
+        time-aware through it so the storm window collapses traffic
+        onto its hot set.
+        """
+        chooser = _key_chooser(self.distribution, self.item_count, self.seed)
+        times = process.times(count)
+        if storm is not None:
+            keys = [storm.key_at(float(time)) for time in times]
+        else:
+            keys = [chooser.next_key() for _ in range(count)]
+        requests = [
+            Request(key=key, arrival_time=float(time), user=index)
+            for index, (key, time) in enumerate(zip(keys, times))
+        ]
+        return OpenLoopArrivals(requests)
+
+    def chooser(self):
+        """A fresh key chooser over this generator's popularity model
+        (e.g. to seed a :class:`~repro.data.arrivals.HotKeyStorm`)."""
+        return _key_chooser(self.distribution, self.item_count, self.seed)
 
     def replay_ycsb(
         self, workload: YCSBWorkload, rate: float, count: int, start: float = 0.0

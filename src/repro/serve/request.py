@@ -29,6 +29,9 @@ class Request:
     user: int = 0
     value: Optional[object] = field(default=None, repr=False)
     completed_at: Optional[float] = None
+    #: Owning tenant index in a multi-tenant cluster (0 = the default /
+    #: only tenant; single-tenant serving never reads this).
+    tenant: int = 0
 
     @property
     def latency(self) -> float:

@@ -369,6 +369,7 @@ class EmbeddingServer:
         return self._clock
 
     def close(self) -> None:
+        """Close the underlying store."""
         self.store.close()
 
     def __enter__(self) -> "EmbeddingServer":

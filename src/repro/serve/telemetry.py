@@ -53,6 +53,7 @@ class LatencyHistogram:
         return math.exp(self._log_min + index * self._log_width)
 
     def record(self, latency: float) -> None:
+        """Record one non-negative latency sample."""
         if latency < 0:
             raise ValueError(f"negative latency {latency!r}")
         self._counts[self._bucket(latency)] += 1
@@ -85,6 +86,25 @@ class LatencyHistogram:
                 return min(self._bucket_upper(index), self.max_seen)
         return self.max_seen
 
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of recorded samples whose bucket lies at or below
+        ``threshold`` — the SLO *attainment* of a latency target.
+
+        Resolution is one bucket (~4.6% relative width at the default
+        geometry): a bucket counts as attained when its upper edge is
+        within the threshold.  Returns 1.0 for an empty histogram (no
+        request has missed an SLO nobody asked to meet).
+        """
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative, got {threshold}")
+        if self.count == 0:
+            return 1.0
+        attained = 0
+        for index, bucket_count in enumerate(self._counts):
+            if bucket_count and self._bucket_upper(index) <= threshold:
+                attained += bucket_count
+        return attained / self.count
+
     def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
         """Fold ``other``'s samples into this histogram (in place).
 
@@ -111,9 +131,11 @@ class LatencyHistogram:
 
     @property
     def mean(self) -> float:
+        """Mean of the recorded samples; 0.0 when empty."""
         return self.total / self.count if self.count else 0.0
 
     def summary(self) -> dict[str, float]:
+        """The count/mean/percentile block reports embed."""
         return {
             "count": self.count,
             "mean": self.mean,
@@ -138,6 +160,7 @@ class Distribution:
         self.max_seen = 0.0
 
     def record(self, value: float) -> None:
+        """Record one non-negative sample."""
         if value < 0:
             raise ValueError(f"negative value {value!r}")
         self._counts[int(value / self._width)] = (
@@ -150,6 +173,7 @@ class Distribution:
 
     @property
     def mean(self) -> float:
+        """Mean of the recorded samples; 0.0 when empty."""
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
@@ -172,6 +196,7 @@ class Distribution:
         return self.max_seen
 
     def summary(self) -> dict[str, float]:
+        """The count/mean/percentile block reports embed."""
         return {
             "count": self.count,
             "mean": self.mean,
@@ -221,6 +246,7 @@ class ServingTelemetry:
         self.events.append({"phase": name, "at": at})
 
     def record_request(self, arrival_time: float, completed_at: float) -> None:
+        """Record one completed request's latency (credited to the current phase)."""
         latency = completed_at - arrival_time
         self.latency.record(latency)
         self.phase_latency.setdefault(self.phase, LatencyHistogram()).record(latency)
@@ -231,6 +257,7 @@ class ServingTelemetry:
             self.last_completion = completed_at
 
     def record_batch(self, size: int, queue_depth: int) -> None:
+        """Record one served batch's size and the queue depth behind it."""
         self.batch_sizes.record(size)
         self.queue_depths.record(queue_depth)
         self.batches_served += 1

@@ -78,6 +78,7 @@ class StragglerInjector:
     def revive_replica_at(
         self, at: float, shard: int, replica: int, catch_up: bool = True
     ) -> "StragglerInjector":
+        """Schedule a replica revival (with catch-up) at ``at``."""
         self._schedule(
             at,
             f"revive-replica:{shard}/{replica}",
@@ -88,9 +89,11 @@ class StragglerInjector:
 
     # ------------------------------------------------------------------
     def pending(self) -> int:
+        """Scheduled events not yet fired."""
         return len(self._events)
 
     def peek_time(self) -> Optional[float]:
+        """Time of the next scheduled event, or ``None``."""
         return self._events[0][0] if self._events else None
 
     def fire_due(self, now: float, target) -> int:

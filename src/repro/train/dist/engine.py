@@ -174,15 +174,19 @@ class DistributedTrainer:
         self.server.deregister_worker(worker_id)
 
     def slow_worker(self, worker_id: int, factor: float) -> None:
+        """Slow one worker's compute by ``factor`` (straggler injection)."""
         self.workers[worker_id].slow_down(factor)
 
     def heal_worker(self, worker_id: int) -> None:
+        """Restore a slowed worker to the template compute speed."""
         self.workers[worker_id].restore_speed(self._template_flops)
 
     def fail_replica(self, shard: int, replica: int) -> None:
+        """Fail one storage replica through the server's store."""
         self.server.store.fail_replica(shard, replica)
 
     def revive_replica(self, shard: int, replica: int, catch_up: bool = True) -> int:
+        """Revive a failed replica; returns the replayed catch-up keys."""
         return self.server.store.revive_replica(shard, replica, catch_up=catch_up)
 
     # ------------------------------------------------------------------

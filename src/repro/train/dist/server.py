@@ -53,20 +53,25 @@ class WorkerProgressClock:
         self.completed: dict[int, int] = {}
 
     def register(self, worker_id: int) -> None:
+        """Add a worker at zero completed steps."""
         if worker_id in self.completed:
             raise ConfigError(f"worker {worker_id} already registered")
         self.completed[worker_id] = self.min_completed() if self.completed else 0
 
     def deregister(self, worker_id: int) -> None:
+        """Forget a worker, so its progress no longer bounds the minimum."""
         self.completed.pop(worker_id, None)
 
     def complete(self, worker_id: int, count: int = 1) -> None:
+        """Credit ``count`` completed steps to a worker."""
         self.completed[worker_id] += count
 
     def min_completed(self) -> int:
+        """The slowest worker's completed steps (the global floor)."""
         return min(self.completed.values()) if self.completed else 0
 
     def lead(self, worker_id: int) -> int:
+        """How far a worker runs ahead of the slowest one."""
         return self.completed[worker_id] - self.min_completed()
 
     def admissible(self, worker_id: int, bound: Optional[int]) -> bool:
@@ -299,9 +304,11 @@ class ParameterServer:
     # membership and elasticity
     # ------------------------------------------------------------------
     def register_worker(self, worker_id: int) -> None:
+        """Register a worker with the progress clock."""
         self.progress.register(worker_id)
 
     def deregister_worker(self, worker_id: int) -> None:
+        """Remove a worker from the progress clock."""
         self.progress.deregister(worker_id)
 
     def scale_out(

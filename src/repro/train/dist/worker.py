@@ -45,6 +45,7 @@ class Worker:
 
     @property
     def now(self) -> float:
+        """The worker's current simulated time."""
         return self.view.now
 
     def wait_until(self, when: float) -> float:
@@ -94,6 +95,7 @@ class Worker:
         self.gpu.flops_per_second /= factor
 
     def restore_speed(self, flops_per_second: float) -> None:
+        """Reset the GPU model to ``flops_per_second``."""
         self.gpu.flops_per_second = flops_per_second
 
     def __repr__(self) -> str:

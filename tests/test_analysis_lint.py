@@ -30,6 +30,7 @@ class TestEngine:
         names = set(rule_registry())
         assert {
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+            "REP007",
         } <= names
 
     def test_module_name_mapping(self):
@@ -191,23 +192,34 @@ _API_STUB = """
 from abc import ABC, abstractmethod
 
 class KVStore(ABC):
+    '''Contract stub.'''
     @abstractmethod
-    def get(self, key): ...
-    def multi_get(self, keys): ...
-    def multi_put(self, keys, values): ...
-    def snapshot_read_many(self, keys): ...
-    def multi_rmw(self, keys, update): ...
-    def freeze(self): ...
+    def get(self, key):
+        '''Read.'''
+    def multi_get(self, keys):
+        '''Batched read.'''
+    def multi_put(self, keys, values):
+        '''Batched write.'''
+    def snapshot_read_many(self, keys):
+        '''Committed reads.'''
+    def multi_rmw(self, keys, update):
+        '''Batched RMW.'''
+    def freeze(self):
+        '''Freeze.'''
 """
 
 _COMPLETE_ENGINE = """
 from repro.kv.api import KVStore
 
 class GoodKV(KVStore):
-    def get(self, key): ...
-    def checkpoint(self): ...
+    '''Complete engine.'''
+    def get(self, key):
+        '''Read.'''
+    def checkpoint(self):
+        '''Persist.'''
     @classmethod
-    def restore(cls, directory, **kwargs): ...
+    def restore(cls, directory, **kwargs):
+        '''Reload.'''
 """
 
 
@@ -225,7 +237,9 @@ class TestRep002ContractCompleteness:
         findings = self.lint(
             "from repro.kv.api import KVStore\n"
             "class BareKV(KVStore):\n"
-            "    def get(self, key): ...\n"
+            "    '''Engine.'''\n"
+            "    def get(self, key):\n"
+            "        '''Read.'''\n"
         )
         assert rules_of(findings) == ["REP002", "REP002"]
         messages = " | ".join(finding.message for finding in findings)
@@ -235,11 +249,16 @@ class TestRep002ContractCompleteness:
         findings = self.lint(
             "from repro.kv.api import KVStore\n"
             "class RenamedKV(KVStore):\n"
-            "    def get(self, key): ...\n"
-            "    def multi_get(self, ids): ...\n"
-            "    def checkpoint(self): ...\n"
+            "    '''Engine.'''\n"
+            "    def get(self, key):\n"
+            "        '''Read.'''\n"
+            "    def multi_get(self, ids):\n"
+            "        '''Batched read.'''\n"
+            "    def checkpoint(self):\n"
+            "        '''Persist.'''\n"
             "    @classmethod\n"
-            "    def restore(cls, directory, **kwargs): ...\n"
+            "    def restore(cls, directory, **kwargs):\n"
+            "        '''Reload.'''\n"
         )
         assert rules_of(findings) == ["REP002"]
         assert "contract names it 'keys'" in findings[0].message
@@ -248,19 +267,27 @@ class TestRep002ContractCompleteness:
         flagged = self.lint(
             "from repro.kv.api import KVStore\n"
             "class StrictKV(KVStore):\n"
-            "    def get(self, key): ...\n"
-            "    def checkpoint(self, fsync): ...\n"
+            "    '''Engine.'''\n"
+            "    def get(self, key):\n"
+            "        '''Read.'''\n"
+            "    def checkpoint(self, fsync):\n"
+            "        '''Persist.'''\n"
             "    @classmethod\n"
-            "    def restore(cls, directory, **kwargs): ...\n"
+            "    def restore(cls, directory, **kwargs):\n"
+            "        '''Reload.'''\n"
         )
         assert rules_of(flagged) == ["REP002"]
         passed = self.lint(
             "from repro.kv.api import KVStore\n"
             "class DefaultedKV(KVStore):\n"
-            "    def get(self, key): ...\n"
-            "    def checkpoint(self, fsync=True): ...\n"
+            "    '''Engine.'''\n"
+            "    def get(self, key):\n"
+            "        '''Read.'''\n"
+            "    def checkpoint(self, fsync=True):\n"
+            "        '''Persist.'''\n"
             "    @classmethod\n"
-            "    def restore(cls, directory, **kwargs): ...\n"
+            "    def restore(cls, directory, **kwargs):\n"
+            "        '''Reload.'''\n"
         )
         assert passed == []
 
@@ -271,7 +298,9 @@ class TestRep002ContractCompleteness:
             "src/repro/kv/child.py": (
                 "from repro.kv.base import GoodKV\n"
                 "class TunedKV(GoodKV):\n"
-                "    def get(self, key): ...\n"
+                "    '''Engine.'''\n"
+                "    def get(self, key):\n"
+                "        '''Read.'''\n"
             ),
         })
         assert findings == []
@@ -281,8 +310,10 @@ class TestRep002ContractCompleteness:
             "from abc import abstractmethod\n"
             "from repro.kv.api import KVStore\n"
             "class PartialKV(KVStore):\n"
+            "    '''Intermediary.'''\n"
             "    @abstractmethod\n"
-            "    def flush(self): ...\n"
+            "    def flush(self):\n"
+            "        '''Flush.'''\n"
         )
         assert findings == []
 
@@ -290,7 +321,9 @@ class TestRep002ContractCompleteness:
         findings = self.lint(
             "from repro.kv.api import KVStore\n"
             "class MemoKV(KVStore):  # repro: lint-ignore[REP002] in-memory only\n"
-            "    def get(self, key): ...\n"
+            "    '''Engine.'''\n"
+            "    def get(self, key):\n"
+            "        '''Read.'''\n"
         )
         assert findings == []
 
@@ -354,6 +387,7 @@ class TestRep004SwallowedExceptions:
     def test_flags_swallowed_exception(self):
         findings = lint_source(
             "def flush(wal):\n"
+            "    '''Flush.'''\n"
             "    try:\n"
             "        wal.sync()\n"
             "    except Exception:\n"
@@ -371,6 +405,7 @@ class TestRep004SwallowedExceptions:
     def test_reraise_passes(self):
         findings = lint_source(
             "def flush(wal, log):\n"
+            "    '''Flush.'''\n"
             "    try:\n"
             "        wal.sync()\n"
             "    except Exception as error:\n"
@@ -383,6 +418,7 @@ class TestRep004SwallowedExceptions:
     def test_specific_exceptions_pass(self):
         findings = lint_source(
             "def probe(path):\n"
+            "    '''Probe.'''\n"
             "    try:\n"
             "        return open(path)\n"
             "    except FileNotFoundError:\n"
@@ -468,6 +504,7 @@ class TestRep006InstrumentationViaObs:
     def test_flags_print_in_hot_path_module(self):
         findings = lint_source(
             "def multi_get(self, keys):\n"
+            "    '''Batched read.'''\n"
             "    print('served', len(keys))\n"
             "    return keys\n",
             path=self.PATH,
@@ -479,6 +516,7 @@ class TestRep006InstrumentationViaObs:
         findings = lint_source(
             "import sys\n"
             "def put(self, key, value):\n"
+            "    '''Write.'''\n"
             "    sys.stderr.write('put\\n')\n"
             "    sys.stdout.write('ok\\n')\n",
             path="src/repro/serve/fixture.py",
@@ -499,6 +537,7 @@ class TestRep006InstrumentationViaObs:
             "from repro.obs import profile\n"
             "from repro.obs.trace import span\n"
             "def multi_get(self, keys):\n"
+            "    '''Batched read.'''\n"
             "    token = profile.begin()\n"
             "    with span('kv.multi_get', keys=len(keys)):\n"
             "        out = list(keys)\n"
@@ -523,6 +562,75 @@ class TestRep006InstrumentationViaObs:
         findings = lint_source(
             "print('recovery banner')"
             "  # repro: lint-ignore[REP006] operator-facing CLI output\n",
+            path=self.PATH,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP007 — public docstrings on the documented API surfaces
+# ----------------------------------------------------------------------
+class TestRep007PublicDocstrings:
+    PATH = "src/repro/serve/fixture.py"
+
+    def test_flags_undocumented_public_names(self):
+        findings = lint_source(
+            "class Batcher:\n"
+            "    '''Forms batches.'''\n"
+            "    def form(self):\n"
+            "        return []\n"
+            "def helper():\n"
+            "    return 1\n",
+            path=self.PATH,
+        )
+        assert rules_of(findings) == ["REP007", "REP007"]
+        messages = " | ".join(finding.message for finding in findings)
+        assert "`Batcher.form`" in messages and "`helper`" in messages
+
+    def test_documented_and_private_names_pass(self):
+        findings = lint_source(
+            "class Batcher:\n"
+            "    '''Forms batches.'''\n"
+            "    def form(self):\n"
+            "        '''Close the open batch.'''\n"
+            "    def _gather(self):\n"
+            "        return []\n"
+            "def _helper():\n"
+            "    return 1\n",
+            path=self.PATH,
+        )
+        assert findings == []
+
+    def test_setters_and_overloads_are_exempt(self):
+        findings = lint_source(
+            "from typing import overload\n"
+            "class Policy:\n"
+            "    '''Knobs.'''\n"
+            "    @property\n"
+            "    def depth(self):\n"
+            "        '''Queue depth bound.'''\n"
+            "    @depth.setter\n"
+            "    def depth(self, value):\n"
+            "        self._depth = value\n"
+            "    @overload\n"
+            "    def bound(self, x: int) -> int: ...\n",
+            path=self.PATH,
+        )
+        assert findings == []
+
+    def test_out_of_scope_modules_are_not_checked(self):
+        for path in (
+            "src/repro/core/fixture.py",
+            "src/repro/device/fixture.py",
+            "tests/test_fixture.py",
+        ):
+            findings = lint_source("def helper():\n    return 1\n", path=path)
+            assert "REP007" not in rules_of(findings), path
+
+    def test_pragma_suppresses(self):
+        findings = lint_source(
+            "def helper():  # repro: lint-ignore[REP007] internal shim\n"
+            "    return 1\n",
             path=self.PATH,
         )
         assert findings == []

@@ -1,0 +1,143 @@
+"""Arrival processes: determinism, rate correctness, key-skew shape.
+
+The serving workloads stand on :mod:`repro.data.arrivals` — homogeneous
+Poisson for the classic open loop, and the production shapes
+(diurnal curve, flash crowd, hot-key storm) the multi-tenant cluster is
+driven with.  These tests pin the properties the benches rely on:
+identical seeds replay identical traces, realized rates match the
+configured λ(t) within sampling error, the modulated processes place
+their mass where the curve says, and the zipfian chooser is actually
+skewed (with a deterministic hot set under a storm).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ZipfianGenerator
+from repro.data.arrivals import (
+    DiurnalProcess,
+    FlashCrowdProcess,
+    HotKeyStorm,
+    ModulatedPoissonProcess,
+    PoissonProcess,
+    ThinkTimeProcess,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_replays_same_trace(self):
+        for make in (
+            lambda seed: PoissonProcess(1e4, seed=seed),
+            lambda seed: DiurnalProcess(5e3, 2e4, period=1.0, seed=seed),
+            lambda seed: FlashCrowdProcess(5e3, 5e4, 0.2, 0.1, seed=seed),
+        ):
+            a = make(9).times(2000)
+            b = make(9).times(2000)
+            assert np.array_equal(a, b)
+            c = make(10).times(2000)
+            assert not np.array_equal(a, c)
+
+    def test_times_are_strictly_increasing_and_resume(self):
+        process = DiurnalProcess(1e3, 1e4, period=0.5, seed=3)
+        first = process.times(500)
+        second = process.times(500)
+        combined = np.concatenate([first, second])
+        assert np.all(np.diff(combined) > 0)
+        assert second[0] > first[-1]
+
+    def test_storm_hot_set_is_deterministic(self):
+        chooser = ZipfianGenerator(10_000, seed=4)
+        storm_a = HotKeyStorm(chooser, 16, 0.0, 1.0, seed=5)
+        storm_b = HotKeyStorm(ZipfianGenerator(10_000, seed=4), 16, 0.0, 1.0, seed=5)
+        assert np.array_equal(storm_a.hot_set, storm_b.hot_set)
+        keys_a = [storm_a.key_at(0.5) for _ in range(200)]
+        keys_b = [storm_b.key_at(0.5) for _ in range(200)]
+        assert keys_a == keys_b
+
+
+class TestRateCorrectness:
+    def test_poisson_realized_rate(self):
+        rate = 2e4
+        times = PoissonProcess(rate, seed=1).times(20_000)
+        realized = len(times) / times[-1]
+        assert realized == pytest.approx(rate, rel=0.05)
+
+    def test_diurnal_peak_vs_trough_mass(self):
+        # One full day: the half-period around the peak must hold far
+        # more arrivals than the half around the trough.
+        period = 1.0
+        process = DiurnalProcess(1e3, 2e4, period=period, seed=2)
+        times = process.times(15_000)
+        times = times[times < period]
+        trough_half = np.sum((times < period / 4) | (times >= 3 * period / 4))
+        peak_half = np.sum((times >= period / 4) & (times < 3 * period / 4))
+        assert peak_half > 3 * trough_half
+        # Mean rate of the sinusoid is (trough + peak) / 2.
+        realized = len(times) / period
+        assert realized == pytest.approx((1e3 + 2e4) / 2, rel=0.1)
+
+    def test_flash_crowd_window_rate(self):
+        base, flash = 5e3, 1e5
+        process = FlashCrowdProcess(base, flash, flash_at=0.2, flash_duration=0.1, seed=3)
+        times = process.times(20_000)
+        in_window = times[(times >= 0.2) & (times < 0.3)]
+        before = times[times < 0.2]
+        window_rate = len(in_window) / 0.1
+        before_rate = len(before) / 0.2
+        assert window_rate == pytest.approx(flash, rel=0.1)
+        assert before_rate == pytest.approx(base, rel=0.15)
+
+    def test_envelope_violation_raises(self):
+        class Broken(ModulatedPoissonProcess):
+            def rate_at(self, t):
+                return self.peak_rate * 2
+
+        with pytest.raises(ValueError):
+            Broken(1e3, seed=0).times(10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(0.0)
+        with pytest.raises(ValueError):
+            DiurnalProcess(2e4, 1e3, period=1.0)  # trough above peak
+        with pytest.raises(ValueError):
+            DiurnalProcess(1e3, 2e4, period=0.0)
+        with pytest.raises(ValueError):
+            FlashCrowdProcess(1e4, 5e3, 0.1, 0.1)  # flash below base
+        with pytest.raises(ValueError):
+            ThinkTimeProcess(-1.0)
+
+
+class TestKeySkew:
+    def test_zipfian_is_skewed_uniform_is_not(self):
+        zipf = ZipfianGenerator(10_000, seed=6)
+        draws = np.array([zipf.next_key() for _ in range(20_000)])
+        _, counts = np.unique(draws, return_counts=True)
+        top = np.sort(counts)[::-1]
+        # YCSB zipfian(0.99) over 10k keys: the top-10 hottest keys carry
+        # a double-digit share of all accesses; uniform would give 0.1%.
+        assert top[:10].sum() / len(draws) > 0.10
+        assert zipf.hot_mass() > 100.0 / 10_000
+
+    def test_storm_concentrates_traffic_on_hot_set(self):
+        chooser = ZipfianGenerator(100_000, seed=7)
+        storm = HotKeyStorm(chooser, hot_keys=8, storm_at=1.0,
+                            storm_duration=1.0, hot_fraction=0.9, seed=8)
+        hot = set(int(key) for key in storm.hot_set)
+        inside = sum(storm.key_at(1.5) in hot for _ in range(2000))
+        outside = sum(storm.key_at(0.5) in hot for _ in range(2000))
+        assert inside / 2000 == pytest.approx(0.9, abs=0.05)
+        assert outside / 2000 < 0.05
+
+    def test_storm_validation(self):
+        chooser = ZipfianGenerator(100, seed=0)
+        with pytest.raises(ValueError):
+            HotKeyStorm(chooser, 0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            HotKeyStorm(chooser, 101, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            HotKeyStorm(chooser, 5, 0.0, 1.0, hot_fraction=1.5)
+        with pytest.raises(ValueError):
+            HotKeyStorm(chooser, 5, 0.0, 0.0)

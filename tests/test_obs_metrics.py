@@ -165,6 +165,37 @@ class TestAdapters:
         assert tree["latency_seconds{quantile=p99}"] > 0
         assert tree["latency_seconds{quantile=max}"] == pytest.approx(2e-3)
 
+    def test_absorb_tenant_report(self):
+        registry = MetricsRegistry()
+        report = {
+            "tenants": {
+                "gold": {
+                    "latency": {"p99": 120e-6},
+                    "slo_attainment": 0.99,
+                    "admitted": 400,
+                    "shed_rate": 0,
+                    "shed_queue": 0,
+                },
+                "bronze": {
+                    "latency": {"p99": 3e-3},
+                    "slo_attainment": 0.7,
+                    "admitted": 900,
+                    "shed_rate": 100,
+                    "shed_queue": 7,
+                },
+            },
+            "hedged_reads": 12,
+            "autoscaler": {"splits_completed": 1, "replicas_added": 2},
+        }
+        registry.absorb_tenant_report("serve", report)
+        tree = registry.to_json()["serve"]
+        assert tree["tenant_p99_seconds{tenant=gold}"] == pytest.approx(120e-6)
+        assert tree["tenant_slo_attainment{tenant=bronze}"] == pytest.approx(0.7)
+        assert tree["tenant_shed_rate{tenant=bronze}"] == 100
+        assert tree["hedged_reads"] == 12
+        assert tree["autoscale_splits_completed"] == 1
+        assert tree["autoscale_replicas_added"] == 2
+
 
 class TestProfiler:
     def setup_method(self):

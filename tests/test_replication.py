@@ -427,6 +427,52 @@ class TestLiveSplit:
             assert holders == [store.shard_of(key)]
         store.close()
 
+    def test_deferred_cleanup_is_invisible_and_drains_in_batches(self, tmp_path):
+        factory = self._make("faster", tmp_path)
+        store = ShardedKVStore(factory, 2)
+        keys = list(range(600))
+        store.multi_put(keys, [f"v{key}".encode() for key in keys])
+        before = len(store)
+
+        migration = store.begin_split(0, factory)
+        while migration.copy_step(128):
+            pass
+        migration.cutover(defer_cleanup=True)
+
+        # Source-side deletes are queued, not executed — yet the moved
+        # keys are already invisible on the old engine's surface.
+        pending = store.cleanup_pending()
+        assert pending > 0
+        assert len(store) == before
+        assert sorted(key for key, _ in store.scan()) == keys
+        assert store.multi_get(keys) == [f"v{key}".encode() for key in keys]
+
+        # Each step deletes at most the batch and reports the remainder.
+        assert store.cleanup_step(100) == pending - 100
+        while store.cleanup_pending():
+            store.cleanup_step(100)
+        assert len(store) == before
+        moved = [key for key in keys if store.shard_of(key) == 2]
+        assert all(store.shards[0].get(key) is None for key in moved)
+        store.close()
+
+    def test_new_migration_drains_deferred_cleanup_first(self, tmp_path):
+        factory = self._make("faster", tmp_path)
+        store = ShardedKVStore(factory, 2)
+        keys = list(range(300))
+        store.multi_put(keys, [b"v"] * 300)
+        migration = store.begin_split(0, factory)
+        while migration.copy_step(128):
+            pass
+        migration.cutover(defer_cleanup=True)
+        assert store.cleanup_pending() > 0
+        # A fresh migration snapshots raw engine scans, so beginning one
+        # finishes the queued deletes synchronously first.
+        follow_up = store.begin_split(1, factory)
+        assert store.cleanup_pending() == 0
+        follow_up.abort()
+        store.close()
+
     def test_split_moves_only_the_split_slot(self, tmp_path):
         factory = self._make("faster", tmp_path)
         store = ShardedKVStore(factory, 2)

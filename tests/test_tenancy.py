@@ -1,0 +1,476 @@
+"""Multi-tenant serving: namespacing, admission, priority, hedging, autoscale.
+
+The acceptance surface of `repro.serve.tenancy`:
+
+* the one-tenant cluster is an *exact* pass-through of the
+  single-tenant :class:`~repro.serve.ServingLoop` (identical telemetry,
+  bit for bit);
+* key namespacing keeps tenants' records disjoint while sharing one
+  batched read path;
+* admission control sheds (counted, completed back to the source) with
+  the zero-lost invariant ``completed + shed == offered``;
+* priority-aware cutoff keeps a high-SLO tenant's p99 tight under a
+  best-effort flood;
+* hedged reads cap the damage of a slowed replica;
+* the autoscaler splits a hot shard / revives and retires replicas
+  *while requests are in flight* without losing a request or a key.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.embedding import EmbeddingTables
+from repro.core.mlkv import MLKV
+from repro.data.arrivals import FlashCrowdProcess, PoissonProcess
+from repro.device import SimClock, SSDModel
+from repro.errors import ConfigError
+from repro.kv import ReplicatedKVStore, ShardedKVStore, encode_vector
+from repro.kv.faster import FasterKV
+from repro.serve import (
+    Autoscaler,
+    AutoscalerConfig,
+    BatchPolicy,
+    EmbeddingServer,
+    LoadGenerator,
+    PriorityRequestQueue,
+    Request,
+    ServingLoop,
+    TenantCluster,
+    TenantSpec,
+    TokenBucket,
+    namespace_key,
+    split_key,
+)
+
+DIM = 8
+
+
+def make_server(directory, item_count=500, seed=3, cache_entries=0,
+                tenant_count=1):
+    """An MLKV-backed server preloaded for ``tenant_count`` namespaces."""
+    store = MLKV(str(directory), ssd=SSDModel(SimClock()),
+                 memory_budget_bytes=1 << 21)
+    tables = EmbeddingTables(store, DIM, seed=seed, cache_entries=0)
+    for tenant in range(tenant_count):
+        keys = [namespace_key(tenant, k) for k in range(item_count)]
+        store.multi_put(keys, [encode_vector(tables.init_vector(k)) for k in keys])
+    store.clock.drain()
+    return EmbeddingServer(store, dim=DIM, seed=seed, cache_entries=cache_entries)
+
+
+# ----------------------------------------------------------------------
+# namespacing
+# ----------------------------------------------------------------------
+class TestNamespacing:
+    def test_roundtrip_and_identity_for_tenant_zero(self):
+        assert namespace_key(0, 12345) == 12345
+        for tenant, key in [(0, 0), (1, 0), (3, 7), (100, (1 << 48) - 1)]:
+            assert split_key(namespace_key(tenant, key)) == (tenant, key)
+
+    def test_ranges_are_disjoint(self):
+        assert namespace_key(1, 0) > namespace_key(0, (1 << 48) - 1)
+        assert namespace_key(2, 0) > namespace_key(1, (1 << 48) - 1)
+
+    def test_local_key_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            namespace_key(1, 1 << 48)
+        with pytest.raises(ConfigError):
+            namespace_key(0, -1)
+
+
+# ----------------------------------------------------------------------
+# admission primitives
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=10.0, burst=3, start=0.0)
+        assert [bucket.admit(0.0) for _ in range(4)] == [True, True, True, False]
+        # 0.1 s at 10 tokens/s refills exactly one token.
+        assert bucket.admit(0.1) is True
+        assert bucket.admit(0.1) is False
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2, start=0.0)
+        for _ in range(2):
+            bucket.admit(0.0)
+        assert [bucket.admit(100.0) for _ in range(3)] == [True, True, False]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestPriorityQueue:
+    def test_drains_highest_priority_first_fifo_within(self):
+        queue = PriorityRequestQueue()
+        for index, priority in enumerate([0, 2, 0, 1, 2]):
+            queue.push(Request(key=index, arrival_time=float(index)), priority)
+        assert [r.key for r in queue.take(5)] == [1, 4, 3, 0, 2]
+        assert len(queue) == 0
+
+    def test_peek_oldest_spans_lanes(self):
+        queue = PriorityRequestQueue()
+        queue.push(Request(key=1, arrival_time=5.0), priority=2)
+        queue.push(Request(key=2, arrival_time=1.0), priority=0)
+        assert queue.peek_oldest().key == 2
+
+    def test_single_lane_is_plain_fifo(self):
+        queue = PriorityRequestQueue()
+        for index in range(5):
+            queue.push(Request(key=index, arrival_time=float(index)))
+        assert [r.key for r in queue.take(3)] == [0, 1, 2]
+        assert queue.max_depth_seen == 5
+
+
+class TestSpecValidation:
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ConfigError):
+            TenantSpec("t", target_p99=0.0)
+        with pytest.raises(ConfigError):
+            TenantSpec("t", max_delay=-1.0)
+        with pytest.raises(ConfigError):
+            TenantSpec("t", rate_limit=0.0)
+        with pytest.raises(ConfigError):
+            TenantSpec("t", burst=0)
+        with pytest.raises(ConfigError):
+            TenantSpec("t", shed_depth=0)
+
+
+# ----------------------------------------------------------------------
+# the cluster
+# ----------------------------------------------------------------------
+class TestPassThrough:
+    def test_one_tenant_cluster_matches_serving_loop_exactly(self, tmp_path):
+        """The load-bearing property: single-tenant behavior unchanged."""
+        policy = BatchPolicy(max_batch=64, max_delay=100e-6)
+
+        single = make_server(tmp_path / "single", item_count=300, cache_entries=256)
+        arrivals = LoadGenerator(300, "zipfian", seed=7).open_loop(
+            rate=4e5, count=1500, start=single.clock.now
+        )
+        loop = ServingLoop(single, policy)
+        loop.run(arrivals)
+        reference = loop.report(1e-3)
+
+        multi = make_server(tmp_path / "multi", item_count=300, cache_entries=256)
+        arrivals = LoadGenerator(300, "zipfian", seed=7).open_loop(
+            rate=4e5, count=1500, start=multi.clock.now
+        )
+        cluster = TenantCluster(multi, policy)
+        cluster.add_tenant(TenantSpec("only"), arrivals)
+        cluster.run()
+        report = cluster.report()
+
+        for field in ("requests", "batches", "throughput_rps",
+                      "coalesced_fraction", "queue_high_water"):
+            assert report[field] == reference[field]
+        assert report["latency"] == reference["latency"]
+        assert report["batch_size"] == reference["batch_size"]
+        assert report["queue_depth"] == reference["queue_depth"]
+        assert report["tenants"]["only"]["latency"] == reference["latency"]
+        single.store.close()
+        multi.store.close()
+
+
+class TestAdmissionControl:
+    def test_shedding_counts_and_zero_lost_accounting(self, tmp_path):
+        server = make_server(tmp_path / "s", item_count=200, tenant_count=2)
+        cluster = TenantCluster(server, BatchPolicy(max_batch=32, max_delay=50e-6))
+        start = server.clock.now
+        gen = LoadGenerator(200, "zipfian", seed=5)
+        steady = cluster.add_tenant(
+            TenantSpec("steady", target_p99=1e-3),
+            gen.open_loop_process(PoissonProcess(1e5, seed=1, start=start), 800),
+        )
+        # A 2M rps flood against a 1e5 rps bucket: most of it is shed.
+        flood = cluster.add_tenant(
+            TenantSpec("flood", target_p99=1e-2, rate_limit=1e5, burst=16,
+                       shed_depth=64),
+            gen.open_loop_process(PoissonProcess(2e6, seed=2, start=start), 3000),
+        )
+        telemetry = cluster.run()
+        assert flood.shed_rate > 0
+        assert steady.shed == 0
+        # Zero lost: every offered request was either served or shed.
+        assert telemetry.requests_completed + steady.shed + flood.shed == (
+            steady.offered + flood.offered
+        ) == 3800
+        report = cluster.report()
+        block = report["tenants"]["flood"]
+        assert block["offered"] == 3000
+        assert block["admitted"] + block["shed_rate"] + block["shed_queue"] == 3000
+        server.store.close()
+
+    def test_shed_closed_loop_tenant_keeps_issuing(self, tmp_path):
+        """Shedding completes the request back, so the loop never wedges."""
+        server = make_server(tmp_path / "s", item_count=100)
+        cluster = TenantCluster(server, BatchPolicy(max_batch=16, max_delay=20e-6))
+        arrivals = LoadGenerator(100, "zipfian", seed=4).closed_loop(
+            users=8, think_seconds=1e-6, count=400, start=server.clock.now
+        )
+        tenant = cluster.add_tenant(
+            TenantSpec("cl", rate_limit=1e5, burst=4), arrivals
+        )
+        cluster.run()  # terminates: every one of the 400 issues resolves
+        assert tenant.offered == 400
+        assert tenant.shed_rate > 0
+        assert tenant.admitted + tenant.shed == 400
+        server.store.close()
+
+    def test_duplicate_tenant_name_and_empty_cluster_rejected(self, tmp_path):
+        server = make_server(tmp_path / "s", item_count=50)
+        cluster = TenantCluster(server)
+        with pytest.raises(ConfigError):
+            cluster.run()
+        arrivals = LoadGenerator(50, "uniform", seed=1).open_loop(
+            rate=1e5, count=10, start=server.clock.now
+        )
+        cluster.add_tenant(TenantSpec("a"), arrivals)
+        with pytest.raises(ConfigError):
+            cluster.add_tenant(TenantSpec("a"), arrivals)
+        assert cluster.tenant("a").spec.name == "a"
+        with pytest.raises(ConfigError):
+            cluster.tenant("missing")
+        server.store.close()
+
+    def test_hedging_requires_replicated_surface(self, tmp_path):
+        server = make_server(tmp_path / "s", item_count=50)
+        with pytest.raises(ConfigError):
+            TenantCluster(server, hedge_threshold=10e-6)
+        server.store.close()
+
+
+class TestPriorityIsolation:
+    def test_high_slo_tenant_preempts_batch_cutoff(self, tmp_path):
+        """Gold's tight delay bound must hold against a best-effort flood."""
+        server = make_server(tmp_path / "s", item_count=300, tenant_count=2,
+                             cache_entries=256)
+        start = server.clock.now
+        cluster = TenantCluster(server, BatchPolicy(max_batch=64, max_delay=400e-6))
+        gen = LoadGenerator(300, "zipfian", seed=9)
+        gold = cluster.add_tenant(
+            TenantSpec("gold", target_p99=200e-6, priority=2, max_delay=20e-6),
+            gen.open_loop_process(PoissonProcess(5e4, seed=1, start=start), 400),
+        )
+        cluster.add_tenant(
+            TenantSpec("bulk", target_p99=5e-3, priority=0),
+            gen.open_loop_process(PoissonProcess(4e5, seed=2, start=start), 3000),
+        )
+        cluster.run()
+        report = cluster.report()
+        gold_p99 = report["tenants"]["gold"]["latency"]["p99"]
+        bulk_p99 = report["tenants"]["bulk"]["latency"]["p99"]
+        # Without the per-waiter cutoff gold would ride the 400 µs batch
+        # delay; with it, gold's p99 stays well under it and under bulk's.
+        assert gold_p99 < 200e-6
+        assert gold_p99 < bulk_p99
+        assert report["tenants"]["gold"]["slo_attainment"] > 0.95
+        assert gold.shed == 0
+        server.store.close()
+
+
+# ----------------------------------------------------------------------
+# hedging
+# ----------------------------------------------------------------------
+def make_replicated_server(tmp_path, item_count=200, replication=2):
+    ssd = SSDModel(SimClock())
+    store = ReplicatedKVStore(
+        lambda shard, replica: FasterKV(
+            str(tmp_path / f"s{shard}r{replica}"), ssd=ssd
+        ),
+        num_shards=2,
+        replication=replication,
+    )
+    tables = EmbeddingTables(store, DIM, seed=3, cache_entries=0)
+    keys = list(range(item_count))
+    store.multi_put(keys, [encode_vector(tables.init_vector(k)) for k in keys])
+    store.clock.drain()
+    return store, EmbeddingServer(store, dim=DIM, seed=3, cache_entries=0)
+
+
+class TestHedging:
+    def test_hedged_reads_cap_slow_replica_penalty(self, tmp_path):
+        """Hedged routing spreads over the degraded pool; the hedge caps
+        the reads that land on the heavy replica at threshold + light."""
+        store, server = make_replicated_server(tmp_path)
+        threshold = 20e-6
+        heavy, light = 5e-3, 30e-6
+        for shard in range(store.num_shards):
+            store.slow_replica(shard, 0, heavy)
+            store.slow_replica(shard, 1, light)
+        cluster = TenantCluster(
+            server, BatchPolicy(max_batch=16, max_delay=50e-6),
+            hedge_threshold=threshold,
+        )
+        arrivals = LoadGenerator(200, "uniform", seed=6).open_loop(
+            rate=2e5, count=600, start=server.clock.now
+        )
+        cluster.add_tenant(TenantSpec("t", target_p99=1e-2), arrivals)
+        cluster.run()
+        report = cluster.report()
+        assert report["hedged_reads"] > 0
+        assert report["latency"]["p99"] < heavy
+        server.store.close()
+
+    def test_no_hedge_when_no_faster_peer(self, tmp_path):
+        """With every replica equally heavy a hedge cannot win, so none
+        fire and the degradation shows up in the tail — honestly."""
+        store, server = make_replicated_server(tmp_path)
+        heavy = 5e-3
+        for shard in range(store.num_shards):
+            for replica in range(2):
+                store.slow_replica(shard, replica, heavy)
+        cluster = TenantCluster(
+            server, BatchPolicy(max_batch=16, max_delay=50e-6),
+            hedge_threshold=20e-6,
+        )
+        arrivals = LoadGenerator(200, "uniform", seed=6).open_loop(
+            rate=2e5, count=300, start=server.clock.now
+        )
+        cluster.add_tenant(TenantSpec("t", target_p99=1e-2), arrivals)
+        cluster.run()
+        report = cluster.report()
+        assert report["hedged_reads"] == 0
+        assert report["latency"]["p99"] > heavy
+        server.store.close()
+
+    def test_hedging_disabled_routes_around_slowness(self, tmp_path):
+        """Without hedging the penalty-aware router hot-spots the light
+        replica — no hedges, and the heavy penalty never lands."""
+        store, server = make_replicated_server(tmp_path)
+        for shard in range(store.num_shards):
+            store.slow_replica(shard, 0, 5e-3)
+            store.slow_replica(shard, 1, 30e-6)
+        cluster = TenantCluster(server, BatchPolicy(max_batch=16, max_delay=50e-6))
+        arrivals = LoadGenerator(200, "uniform", seed=6).open_loop(
+            rate=2e5, count=600, start=server.clock.now
+        )
+        cluster.add_tenant(TenantSpec("t", target_p99=1e-2), arrivals)
+        cluster.run()
+        report = cluster.report()
+        assert report["hedged_reads"] == 0
+        assert report["latency"]["p99"] < 5e-3
+        server.store.close()
+
+
+# ----------------------------------------------------------------------
+# autoscaler
+# ----------------------------------------------------------------------
+class TestAutoscaler:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            AutoscalerConfig(check_interval=0.0)
+        with pytest.raises(ConfigError):
+            AutoscalerConfig(cooldown=-1.0)
+        with pytest.raises(ConfigError):
+            AutoscalerConfig(copy_batch=0)
+        with pytest.raises(ConfigError):
+            AutoscalerConfig(max_shards=0)
+
+    def test_split_under_live_load_loses_nothing(self, tmp_path):
+        """The tentpole invariant: a split fires mid-run, every request
+        completes, and every key still reads back from the right engine."""
+        clock = SimClock()
+        ssd = SSDModel(clock)
+        built = []
+
+        def factory(index):
+            built.append(index)
+            return MLKV(str(tmp_path / f"shard{index}-{len(built)}"),
+                        ssd=ssd, memory_budget_bytes=1 << 21)
+
+        store = ShardedKVStore(factory, 2)
+        tables = EmbeddingTables(store, DIM, seed=7, cache_entries=0)
+        items = 800
+        keys = list(range(items))
+        store.multi_put(keys, [encode_vector(tables.init_vector(k)) for k in keys])
+        store.clock.drain()
+        server = EmbeddingServer(store, dim=DIM, seed=7, cache_entries=0)
+
+        autoscaler = Autoscaler(
+            store, factory,
+            AutoscalerConfig(p99_threshold=50e-6, check_interval=0.5e-3,
+                             min_window=32, max_shards=4, copy_batch=64),
+            telemetry=server.telemetry,
+        )
+        cluster = TenantCluster(
+            server, BatchPolicy(max_batch=32, max_delay=60e-6),
+            autoscaler=autoscaler,
+        )
+        start = server.clock.now
+        arrivals = LoadGenerator(items, "zipfian", seed=7).open_loop_process(
+            FlashCrowdProcess(1e5, 1.5e6, flash_at=start + 1e-3,
+                              flash_duration=6e-3, seed=2, start=start),
+            5000,
+        )
+        tenant = cluster.add_tenant(TenantSpec("t", target_p99=5e-3), arrivals)
+        telemetry = cluster.run()
+
+        assert autoscaler.splits_completed >= 1
+        assert store.num_shards >= 3
+        actions = [d["action"] for d in autoscaler.decisions]
+        assert "split_begin" in actions and "split_cutover" in actions
+        # Zero lost: nothing shed (no admission limits), all served.
+        assert telemetry.requests_completed == tenant.offered == 5000
+        # Rescale phases were recorded for p99-during-rescale reporting.
+        report = cluster.report()
+        assert "rescale:split" in report["phases"]
+        # Every key still resolves through the post-split routing.
+        for key in range(0, items, 37):
+            assert store.get(key) is not None
+        store.close()
+
+    def test_replica_add_then_scale_in(self, tmp_path):
+        store, _server = make_replicated_server(tmp_path, replication=2)
+        store.fail_replica(0, 1)
+        autoscaler = Autoscaler(
+            store,
+            config=AutoscalerConfig(p99_threshold=100e-6, check_interval=1e-3,
+                                    min_window=8, cooldown=0.0,
+                                    scale_in_p99=10e-6),
+        )
+        # Hot window → revive the dead replica.
+        for _ in range(16):
+            autoscaler.observe_request(5e-3)
+        autoscaler.tick(0.0)
+        assert autoscaler.replicas_added == 1
+        assert store.live_replicas(0) == [0, 1]
+        # Calm window → retire one replica again.
+        for _ in range(16):
+            autoscaler.observe_request(1e-6)
+        autoscaler.tick(5e-3)
+        assert autoscaler.replicas_removed == 1
+        assert len(store.live_replicas(0)) + len(store.live_replicas(1)) == 3
+        summary = autoscaler.summary()
+        assert [d["action"] for d in summary["decisions"]] == [
+            "add_replica", "remove_replica",
+        ]
+        store.close()
+
+    def test_cooldown_and_min_window_gate_actions(self, tmp_path):
+        store, _server = make_replicated_server(tmp_path, replication=2)
+        store.fail_replica(0, 1)
+        autoscaler = Autoscaler(
+            store,
+            config=AutoscalerConfig(p99_threshold=100e-6, check_interval=1e-3,
+                                    min_window=32, cooldown=1.0),
+        )
+        # Too few samples: no action even though the window is hot.
+        for _ in range(8):
+            autoscaler.observe_request(5e-3)
+        autoscaler.tick(0.0)
+        assert autoscaler.replicas_added == 0
+        # Enough samples → acts once; cooldown then suppresses the next.
+        for _ in range(64):
+            autoscaler.observe_request(5e-3)
+        autoscaler.tick(2e-3)
+        assert autoscaler.replicas_added == 1
+        store.fail_replica(0, 1)
+        for _ in range(64):
+            autoscaler.observe_request(5e-3)
+        autoscaler.tick(4e-3)  # inside the 1 s cooldown
+        assert autoscaler.replicas_added == 1
+        store.close()
